@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run even
+when the package is not installed (e.g. offline environments where
+``pip install -e .`` cannot fetch build dependencies).  When ``repro``
+is installed normally, the installed package wins and this is a no-op.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

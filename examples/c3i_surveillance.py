@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""C3I surveillance on VDCE — the workload the paper's funders cared about.
+
+Builds a four-sensor surveillance application from the C3I task library
+(sensor sweeps -> track filters -> pairwise correlation -> threat
+assessment -> display + archive), runs it across a three-site
+federation with live background load on every host, and prints the
+fused threat picture the operator display task produced.
+
+Run:  python examples/c3i_surveillance.py
+"""
+
+from repro import VDCE, DeploymentSpec, SiteConfig
+from repro.sim.workload import OrnsteinUhlenbeckLoad, attach_generators
+from repro.workloads import surveillance_afg
+
+
+def main() -> None:
+    spec = DeploymentSpec(
+        sites=(
+            SiteConfig(name="command-post", n_hosts=3, speed=2.0),
+            SiteConfig(name="radar-east", n_hosts=2, speed=1.0),
+            SiteConfig(name="radar-west", n_hosts=2, speed=1.0),
+        ),
+        wan_latency_s=0.04,
+        wan_bandwidth_mbps=1.5,
+        seed=11,
+    )
+    env = VDCE(spec=spec)
+
+    # non-dedicated workstations: other users contend for CPU
+    attach_generators(
+        env.sim,
+        env.topology.all_hosts,
+        lambda: OrnsteinUhlenbeckLoad(mean=0.4, theta=0.3, sigma=0.2,
+                                      period_s=1.0),
+    )
+    env.start_monitoring()
+    env.advance(10.0)  # let monitors populate the resource DBs
+
+    afg = surveillance_afg(n_sensors=4, scale=0.5)
+    result = env.submit(afg, k=2)
+
+    print("placement across the federation:")
+    for task_id, record in sorted(result.records.items()):
+        print(f"  {task_id:<14} -> {record.site:<14} {record.hosts[0]}")
+
+    (picture,) = result.outputs["display"]
+    print("\noperator display (top threats):")
+    print(picture)
+
+    (summary,) = result.outputs["archive"]
+    print(
+        f"\narchive: {summary['tracks']} tracks, "
+        f"max threat {summary['max_threat']:.3f}, "
+        f"mean {summary['mean_threat']:.3f}"
+    )
+    print(f"\nmakespan: {result.makespan:.3f}s  "
+          f"(setup {result.setup_time:.4f}s, "
+          f"{result.data_transferred_mb:.1f} MB moved)")
+    print("\n" + env.gantt(result, width=64))
+
+
+if __name__ == "__main__":
+    main()

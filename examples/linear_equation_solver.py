@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's Figure 1, end to end: editor -> scheduler -> runtime.
+
+Reproduces the application development pipeline of paper §2 exactly as
+a user would drive it: open an authenticated editor session, build the
+Linear Equation Solver AFG task by task (LU-Decomposition parallel on
+2 nodes with a file input, Matrix-Multiplication sequential preferring
+a SUN solaris machine — the two task-properties windows of Figure 1),
+then submit and watch the scheduler honour the preferences.
+
+Run:  python examples/linear_equation_solver.py
+"""
+
+from repro import VDCE
+from repro.workloads import figure1_afg
+from repro.workloads.linear_solver import (
+    FIGURE1_MATRIX_PATH,
+    FIGURE1_MATRIX_SIZE_MB,
+)
+
+
+def main() -> None:
+    env = VDCE.standard(n_sites=2, hosts_per_site=4, seed=3)
+    env.add_user("user_k", "secret", priority=3)
+
+    # -- the editor pipeline of §2 ------------------------------------------
+    session = env.open_editor("user_k", "secret")
+    print(f"authenticated as {session.account.user_name} "
+          f"(uid={session.account.user_id}, "
+          f"priority={session.account.priority})")
+
+    print("\ntask library menus (paper: 'menu-driven task libraries'):")
+    for library, entries in session.libraries().items():
+        names = ", ".join(e["name"].split(".", 1)[1] for e in entries[:4])
+        print(f"  {library:<8} {names}, ...")
+
+    builder = session.new_application("linear-equation-solver")
+    lu = builder.add(
+        "matrix.lu_decomposition",
+        id="LU_Decomposition",
+        mode="parallel",
+        n_nodes=2,                      # "Number of Nodes: 2"
+        workload_scale=2.0,
+    )
+    builder.bind_file(lu, 0, FIGURE1_MATRIX_PATH, FIGURE1_MATRIX_SIZE_MB)
+    mm = builder.add(
+        "matrix.matrix_multiply",
+        id="Matrix_Multiplication",
+        mode="sequential",
+        n_nodes=1,                      # "Number of Nodes: 1"
+        preferred_machine_type="SUN solaris",
+    )
+    src = builder.add("matrix.transpose", id="Matrix_Source")
+    builder.bind_file(src, 0, FIGURE1_MATRIX_PATH, FIGURE1_MATRIX_SIZE_MB)
+    builder.connect(lu, mm, src_port=0, dst_port=0, size_mb=60.0)
+    builder.connect(src, mm, src_port=0, dst_port=1,
+                    size_mb=FIGURE1_MATRIX_SIZE_MB)
+    afg = builder.build()
+    print(f"\nbuilt AFG {afg.name!r}: {len(afg)} tasks, {len(afg.edges)} edges")
+
+    # -- schedule + execute (shape-only: the 124 MB file is synthetic) --------
+    result = session.submit(afg, k=1, execute_payloads=False)
+
+    print("\nrealised allocation (compare with Figure 1's properties windows):")
+    for task_id, record in sorted(result.records.items()):
+        print(f"  {task_id:<22} site={record.site:<8} hosts={record.hosts}")
+    lu_record = result.records["LU_Decomposition"]
+    assert len(lu_record.hosts) == 2, "parallel LU must get two machines"
+
+    print(f"\nsetup (alloc distribution + channel setup): "
+          f"{result.setup_time:.4f}s")
+    print(f"makespan: {result.makespan:.3f}s")
+    print(f"data moved: {result.data_transferred_mb:.1f} MB "
+          f"over {result.data_transfers} transfers")
+
+    # the prebuilt figure1_afg() is the same graph, one call away:
+    prebuilt = figure1_afg()
+    print(f"\n(prebuilt variant available: {prebuilt.name!r}, "
+          f"{len(prebuilt)} tasks)")
+
+
+if __name__ == "__main__":
+    main()

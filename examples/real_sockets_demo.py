@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The Data Manager over *real* TCP sockets (paper §4.2, for real).
+
+Runs the linear solver through :class:`LocalDataManager`: every logical
+host is a communication proxy listening on a localhost port, every AFG
+edge is a genuine socket channel (setup message + acknowledgment), the
+startup signal fires only after all acks, and task payloads (numpy
+matrices) travel as pickled frames through the sockets.
+
+Also cross-checks the result against the simulated Data Manager — both
+implementations must compute the identical residual.
+
+Run:  python examples/real_sockets_demo.py
+"""
+
+import numpy as np
+
+from repro import VDCE
+from repro.runtime import LocalDataManager
+from repro.scheduler import AllocationTable, SiteScheduler, TaskAssignment
+from repro.workloads import linear_solver_afg
+
+
+def main() -> None:
+    afg = linear_solver_afg(scale=0.2, parallel_lu_nodes=1)
+
+    # manual placement over three logical hosts on this machine
+    table = AllocationTable(afg.name, scheduler="manual")
+    hosts = ["node-a", "node-b", "node-c"]
+    for i, task in enumerate(afg.topological_order()):
+        table.assign(TaskAssignment(task, "local", (hosts[i % 3],), 0.1))
+
+    print("executing over real TCP sockets on localhost ...")
+    report = LocalDataManager(timeout_s=30.0).execute(afg, table)
+
+    print(f"channels opened: {report.channels} "
+          f"(one per AFG edge, each with a setup+ack handshake)")
+    print(f"acks received:   {report.acks}")
+    print(f"payload frames:  {report.payloads}")
+    print(f"bytes on wire:   {report.bytes_sent}")
+    print(f"setup wall time: {report.startup_wall_s * 1000:.2f} ms")
+    print(f"makespan (wall): {report.makespan_wall_s * 1000:.2f} ms")
+
+    (residual,) = report.outputs["verify"]
+    print(f"\nresidual ||Ax-b|| over the wire: {residual:.2e}")
+
+    # -- cross-check against the simulated Data Manager -----------------------
+    env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=1)
+    sim_table = SiteScheduler(k=1).schedule(afg, env.runtime.federation_view())
+    sim_result = env.sim.run_until_complete(
+        env.runtime.execute_process(afg, sim_table)
+    )
+    (sim_residual,) = sim_result.outputs["verify"]
+    assert np.isclose(residual, sim_residual), "implementations disagree!"
+    print(f"simulated Data Manager residual:  {sim_residual:.2e}  (identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of VDCE, the Virtual Distributed Computing
+Environment of Topcuoglu & Hariri, *A Global Computing Environment for
+Networked Resources* (ICPP 1997).
+
+Quick start::
+
+    from repro import VDCE
+    from repro.workloads import linear_solver_afg
+
+    env = VDCE.standard(n_sites=2, hosts_per_site=4)
+    result = env.submit(linear_solver_afg(scale=0.2), k=1)
+    print(env.gantt(result))
+
+Package map (see DESIGN.md for the full inventory):
+
+=============  =========================================================
+``core``       the :class:`VDCE` facade and deployment configuration
+``sim``        discrete-event substrate: hosts, sites, links, failures
+``afg``        application flow graphs (paper §2)
+``tasklib``    task libraries: matrix algebra, C3I, generic (paper §2)
+``editor``     Application Editor: builder, sessions, Flask web app
+``repository`` the four per-site databases (paper §3)
+``scheduler``  prediction, host selection, site scheduler, baselines
+``runtime``    Control Manager + Data Manager + services (paper §4)
+``net``        real-TCP Data Manager (paper §4.2)
+``workloads``  example applications and DAG generators
+``metrics``    schedule-length / SLR / speedup / utilisation metrics
+``viz``        text Gantt + workload visualisation service
+=============  =========================================================
+"""
+
+from repro.core.config import DeploymentSpec, HostConfig, SiteConfig
+from repro.core.vdce import VDCE
+
+__version__ = "1.0.0"
+
+__all__ = ["DeploymentSpec", "HostConfig", "SiteConfig", "VDCE", "__version__"]

@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``libraries`` — print the task-library menus (the editor's palettes);
+* ``run <app>`` — deploy a federation, submit one of the built-in
+  applications (``linear-solver``, ``figure1``, ``c3i``, ``dsp``,
+  ``random-dag``) and print the placement, Gantt chart and metrics;
+* ``monitor`` — run the control plane alone for a while and print the
+  monitoring statistics and a load sparkline per host;
+* ``experiments`` — print the experiment index (DESIGN.md §4) and the
+  bench command that regenerates each one;
+* ``serve`` — start the Flask web editor (requires flask).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+__all__ = ["main"]
+
+EXPERIMENTS = [
+    ("E1", "Figure 1 linear equation solver", "bench_fig1_linear_solver.py"),
+    ("E2", "Site scheduler vs baselines", "bench_fig2_site_scheduler.py"),
+    ("E3", "Host selection within a site", "bench_fig3_host_selection.py"),
+    ("E4", "k-nearest-site locality", "bench_locality_k_sites.py"),
+    ("E5", "Monitoring significant-change filter", "bench_fig4_monitoring.py"),
+    ("E6", "Echo-packet failure detection", "bench_failure_detection.py"),
+    ("E7", "Load-threshold rescheduling", "bench_rescheduling.py"),
+    ("E8", "Real-socket Data Manager", "bench_data_manager.py"),
+    ("E9", "Level-priority ablation", "bench_level_priority.py"),
+    ("E10", "Prediction sensitivity + calibration", "bench_prediction_sensitivity.py"),
+    ("E11", "Federation scalability", "bench_scalability.py"),
+    ("E12", "End-to-end phase breakdown", "bench_end_to_end.py"),
+    ("E13", "Load-accounting ablation", "bench_accounting_ablation.py"),
+    ("E14", "Distributed shared memory (§5)", "bench_dsm.py"),
+]
+
+
+def _build_app(name: str, scale: float, seed: int):
+    from repro.workloads import (
+        RandomDAGConfig,
+        figure1_afg,
+        linear_solver_afg,
+        random_dag,
+        surveillance_afg,
+    )
+
+    if name == "linear-solver":
+        return linear_solver_afg(scale=scale, parallel_lu_nodes=2), True
+    if name == "figure1":
+        return figure1_afg(), False
+    if name == "c3i":
+        return surveillance_afg(n_sensors=3, scale=scale), True
+    if name == "dsp":
+        from repro.afg import ApplicationFlowGraph, TaskNode, TaskProperties
+
+        afg = ApplicationFlowGraph("dsp-chain")
+        chain = [
+            ("synth", "signal.synthesize", 0),
+            ("filt", "signal.lowpass_filter", 1),
+            ("spec", "signal.spectrum", 1),
+            ("peaks", "signal.detect_peaks", 1),
+        ]
+        prev = None
+        for tid, ttype, n_in in chain:
+            afg.add_task(TaskNode(id=tid, task_type=ttype, n_in_ports=n_in,
+                                  n_out_ports=1,
+                                  properties=TaskProperties(workload_scale=scale)))
+            if prev:
+                afg.connect(prev, tid, size_mb=0.25)
+            prev = tid
+        return afg, True
+    if name == "random-dag":
+        return (
+            random_dag(RandomDAGConfig(n_tasks=30, width=5, mean_cost=2.0,
+                                       ccr=0.4, seed=seed)),
+            False,
+        )
+    raise SystemExit(f"unknown application {name!r} "
+                     f"(try: linear-solver, figure1, c3i, dsp, random-dag)")
+
+
+def cmd_libraries(args) -> int:
+    from repro.tasklib import default_registry
+
+    registry = default_registry()
+    for library in registry.libraries():
+        print(f"{library}:")
+        for sig in registry.library_entries(library):
+            par = " [parallel]" if sig.parallelizable else ""
+            print(f"  {sig.qualified_name:<28} "
+                  f"{sig.n_in_ports}->{sig.n_out_ports}  "
+                  f"cost={sig.base_comp_size:g}{par}  {sig.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro import VDCE
+    from repro.metrics import summarize_result
+
+    env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
+                        seed=args.seed)
+    if args.monitoring:
+        env.start_monitoring()
+    afg, payloads = _build_app(args.application, args.scale, args.seed)
+    result = env.submit(afg, k=args.k, execute_payloads=payloads)
+
+    print(f"application {result.application!r}: "
+          f"{len(result.records)} tasks on {len(env.sites)} sites")
+    for task_id in sorted(result.records):
+        record = result.records[task_id]
+        print(f"  {task_id:<24} {record.site:<10} {','.join(record.hosts):<24} "
+              f"measured={record.measured_time:8.3f}s attempts={record.attempts}")
+    summary = summarize_result(result, afg, env.repository().task_perf)
+    print(f"\nmakespan={summary.makespan:.3f}s  slr={summary.slr:.3f}  "
+          f"speedup={summary.speedup:.3f}  "
+          f"moved={summary.data_transferred_mb:.1f}MB")
+    if args.report:
+        from repro.viz import execution_report
+
+        print()
+        print(execution_report(result))
+    elif args.gantt:
+        print()
+        print(env.gantt(result))
+    if result.outputs and payloads:
+        print("\noutputs:")
+        for task_id, values in sorted(result.outputs.items()):
+            rendered = ", ".join(str(v)[:60] for v in values)
+            print(f"  {task_id}: {rendered}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro import VDCE
+    from repro.sim.workload import OrnsteinUhlenbeckLoad, attach_generators
+    from repro.viz import workload_sparkline
+
+    env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
+                        seed=args.seed)
+    samples = {h.name: [] for h in env.topology.all_hosts}
+    attach_generators(
+        env.sim, env.topology.all_hosts,
+        lambda: OrnsteinUhlenbeckLoad(mean=0.8, sigma=0.3, period_s=1.0),
+    )
+    env.start_monitoring()
+
+    def sample():
+        for host in env.topology.all_hosts:
+            samples[host.name].append(host.load_average())
+
+    step = max(1.0, args.duration / 60.0)
+    t = step
+    while t <= args.duration:
+        env.sim.call_at(t, sample)
+        t += step
+    env.advance(args.duration)
+
+    peak = max((max(s) for s in samples.values() if s), default=1.0)
+    for name in sorted(samples):
+        print(workload_sparkline(samples[name], label=f"{name:<12}",
+                                 max_value=peak))
+    print("\nmonitoring statistics:")
+    for key, value in env.stats().items():
+        if value:
+            print(f"  {key:<26} {value}")
+    return 0
+
+
+def cmd_topology(args) -> int:
+    from repro import VDCE
+    from repro.viz import topology_diagram
+
+    env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
+                        seed=args.seed)
+    print(topology_diagram(env.topology))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    print("experiment index (DESIGN.md section 4):")
+    for exp_id, title, bench in EXPERIMENTS:
+        print(f"  {exp_id:<4} {title:<40} "
+              f"pytest benchmarks/{bench} --benchmark-only")
+    return 0
+
+
+def cmd_selftest(args) -> int:
+    """Quick end-to-end health check across all subsystems."""
+    import numpy as np
+
+    from repro import VDCE
+    from repro.runtime import DSM, LocalDataManager
+    from repro.scheduler import AllocationTable, SiteScheduler, TaskAssignment
+    from repro.workloads import linear_solver_afg, surveillance_afg
+
+    failures = []
+
+    def check(label, fn):
+        try:
+            fn()
+            print(f"  ok    {label}")
+        except Exception as exc:  # noqa: BLE001 - reported to the user
+            failures.append(label)
+            print(f"  FAIL  {label}: {exc}")
+
+    print("VDCE self-test:")
+
+    def solver_through_everything():
+        env = VDCE.standard(n_sites=2, hosts_per_site=3, seed=0)
+        env.start_monitoring()
+        result = env.submit(linear_solver_afg(scale=0.15), k=1)
+        (residual,) = result.outputs["verify"]
+        assert residual < 1e-8
+
+    check("simulated pipeline (editor->scheduler->runtime), correct maths",
+          solver_through_everything)
+
+    def c3i_pipeline():
+        env = VDCE.standard(n_sites=2, hosts_per_site=3, seed=1)
+        result = env.submit(surveillance_afg(n_sensors=2, scale=0.3), k=1)
+        (summary,) = result.outputs["archive"]
+        assert summary["tracks"] > 0
+
+    check("C3I surveillance pipeline", c3i_pipeline)
+
+    def real_sockets():
+        afg = linear_solver_afg(scale=0.1, parallel_lu_nodes=1, verify=False)
+        table = AllocationTable(afg.name, scheduler="manual")
+        for i, task in enumerate(afg.topological_order()):
+            table.assign(TaskAssignment(task, "local", (f"n{i % 2}",), 0.1))
+        report = LocalDataManager(timeout_s=20.0).execute(afg, table)
+        (x,) = report.outputs["solve"]
+        assert np.isfinite(x).all()
+
+    check("Data Manager over real TCP sockets", real_sockets)
+
+    def dsm_consistency():
+        env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=2)
+        dsm = DSM(env.sim, env.topology.network)
+        hosts = [h.name for h in env.topology.all_hosts]
+        dsm.allocate("c", hosts[0], initial=0)
+
+        def incr(host):
+            yield from dsm.fetch_add("c", 1, host)
+
+        procs = [env.sim.process(incr(h)) for h in hosts for _ in range(3)]
+
+        def wait():
+            for p in procs:
+                yield p
+            value = yield from dsm.read("c", hosts[0])
+            return value
+
+        assert env.sim.run_until_complete(env.sim.process(wait())) == 12
+
+    check("DSM sequential consistency", dsm_consistency)
+
+    def failure_recovery():
+        env = VDCE.standard(n_sites=1, hosts_per_site=3, seed=3)
+        from repro.workloads import linear_pipeline
+
+        afg = linear_pipeline(n_stages=3, cost=5.0)
+        table = SiteScheduler(k=0).schedule(afg, env.runtime.federation_view())
+        victim = table.get("s000").hosts[0]
+        proc = env.runtime.execute_process(afg, table,
+                                           execute_payloads=False)
+        env.sim.call_after(1.0, lambda: env.topology.host(victim).fail())
+        result = env.sim.run_until_complete(proc)
+        assert result.reschedules >= 1
+
+    check("failure detection + task rescheduling", failure_recovery)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED: {failures}")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+def cmd_serve(args) -> int:  # pragma: no cover - starts a real server
+    from repro import VDCE
+    from repro.editor.webapp import create_webapp
+
+    env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
+                        seed=args.seed)
+    app = create_webapp(env.runtime)
+    print(f"VDCE web editor on http://127.0.0.1:{args.port} "
+          f"(user: admin / vdce-admin)")
+    app.run(port=args.port)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VDCE — A Global Computing Environment for Networked "
+                    "Resources (Topcuoglu & Hariri, ICPP 1997), reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("libraries", help="list the task-library menus")
+
+    run = sub.add_parser("run", help="submit a built-in application")
+    run.add_argument("application",
+                     help="linear-solver | figure1 | c3i | dsp | random-dag")
+    run.add_argument("--sites", type=int, default=2)
+    run.add_argument("--hosts", type=int, default=4)
+    run.add_argument("--k", type=int, default=1,
+                     help="nearest remote sites joining the schedule")
+    run.add_argument("--scale", type=float, default=0.3)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--gantt", action="store_true")
+    run.add_argument("--report", action="store_true",
+                     help="print the full execution report")
+    run.add_argument("--monitoring", action="store_true",
+                     help="start monitor daemons + echo loops first")
+
+    mon = sub.add_parser("monitor", help="run the control plane alone")
+    mon.add_argument("--sites", type=int, default=2)
+    mon.add_argument("--hosts", type=int, default=3)
+    mon.add_argument("--duration", type=float, default=60.0)
+    mon.add_argument("--seed", type=int, default=0)
+
+    topo = sub.add_parser("topology", help="print the deployment diagram")
+    topo.add_argument("--sites", type=int, default=2)
+    topo.add_argument("--hosts", type=int, default=4)
+    topo.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="print the experiment index")
+
+    sub.add_parser("selftest", help="quick end-to-end health check")
+
+    serve = sub.add_parser("serve", help="start the Flask web editor")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--sites", type=int, default=2)
+    serve.add_argument("--hosts", type=int, default=4)
+    serve.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "libraries": cmd_libraries,
+        "run": cmd_run,
+        "monitor": cmd_monitor,
+        "topology": cmd_topology,
+        "experiments": cmd_experiments,
+        "selftest": cmd_selftest,
+        "serve": cmd_serve,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

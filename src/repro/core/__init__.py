@@ -1,0 +1,14 @@
+"""The VDCE facade: a whole deployment behind one object.
+
+:class:`~repro.core.vdce.VDCE` composes the simulation substrate, site
+repositories, scheduler and runtime into the environment the paper
+describes in §1 — "distributed sites, each of which has one or more
+VDCE Servers" — with the user-facing operations: open an editor
+session, submit applications, run the monitoring control plane, and
+inspect results.
+"""
+
+from repro.core.config import DeploymentSpec, HostConfig, SiteConfig
+from repro.core.vdce import VDCE
+
+__all__ = ["VDCE", "DeploymentSpec", "HostConfig", "SiteConfig"]

@@ -1,0 +1,41 @@
+"""Metrics over schedules and execution results (experiment currency).
+
+The paper's scheduler objective is "to minimize the schedule length
+(total execution time)"; everything here quantifies that and its usual
+companions from the list-scheduling literature: SLR (schedule length
+ratio against the computation-only critical path), speedup against
+serial execution on the base processor, host utilisation, and the
+communication share of the makespan.
+"""
+
+from repro.metrics.schedule import (
+    critical_path_cost,
+    serial_cost,
+    slr,
+    speedup,
+)
+from repro.metrics.results import (
+    ResultSummary,
+    host_utilization,
+    summarize_result,
+)
+from repro.metrics.tables import format_table
+from repro.metrics.timeline import (
+    busy_intervals,
+    concurrency_profile,
+    parallel_efficiency,
+)
+
+__all__ = [
+    "ResultSummary",
+    "busy_intervals",
+    "concurrency_profile",
+    "parallel_efficiency",
+    "critical_path_cost",
+    "format_table",
+    "host_utilization",
+    "serial_cost",
+    "slr",
+    "speedup",
+    "summarize_result",
+]

@@ -1,0 +1,70 @@
+"""Graph-level schedule metrics: critical path, serial cost, SLR, speedup."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.levels import compute_levels
+from repro.repository.taskperf import TaskPerformanceDB
+
+__all__ = ["critical_path_cost", "serial_cost", "slr", "speedup"]
+
+CostFn = Callable[[str], float]
+
+
+def _default_cost(afg: ApplicationFlowGraph, task_perf: TaskPerformanceDB) -> CostFn:
+    def cost(task_id: str) -> float:
+        node = afg.task(task_id)
+        return task_perf.base_cost(node.task_type, node.properties.workload_scale)
+
+    return cost
+
+
+def critical_path_cost(
+    afg: ApplicationFlowGraph,
+    task_perf: Optional[TaskPerformanceDB] = None,
+    cost: Optional[CostFn] = None,
+) -> float:
+    """Computation-only critical path on the base processor.
+
+    This is exactly the maximum *level* over entry nodes — the quantity
+    the VDCE priority metric is built from.
+    """
+    if cost is None:
+        if task_perf is None:
+            raise ValueError("provide either task_perf or cost")
+        cost = _default_cost(afg, task_perf)
+    levels = compute_levels(afg, cost)
+    return max(levels.values(), default=0.0)
+
+
+def serial_cost(
+    afg: ApplicationFlowGraph,
+    task_perf: Optional[TaskPerformanceDB] = None,
+    cost: Optional[CostFn] = None,
+) -> float:
+    """Total base-processor work (serial execution time, zero comm)."""
+    if cost is None:
+        if task_perf is None:
+            raise ValueError("provide either task_perf or cost")
+        cost = _default_cost(afg, task_perf)
+    return sum(cost(t.id) for t in afg)
+
+
+def slr(makespan: float, cp_cost: float) -> float:
+    """Schedule Length Ratio: makespan / critical-path cost (>= is worse)."""
+    if cp_cost <= 0:
+        raise ValueError("critical-path cost must be positive")
+    if makespan < 0:
+        raise ValueError("makespan must be non-negative")
+    return makespan / cp_cost
+
+
+def speedup(makespan: float, serial: float) -> float:
+    """Serial base-processor time / parallel makespan."""
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    if serial < 0:
+        raise ValueError("serial cost must be non-negative")
+    return serial / makespan

@@ -1,0 +1,54 @@
+"""Plain-text result tables — the benches' reporting format."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned monospace table.
+
+    Column order follows the first row's key order; missing cells render
+    empty.  Numbers are right-aligned, everything else left-aligned.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(row: Dict[str, object], col: str) -> str:
+        value = row.get(col, "")
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    rendered = [[cell(r, c) for c in columns] for r in rows]
+    widths = [
+        max(len(columns[i]), *(len(r[i]) for r in rendered))
+        for i in range(len(columns))
+    ]
+
+    def is_numeric(col_index: int) -> bool:
+        return all(
+            isinstance(rows[j].get(columns[col_index], 0), (int, float))
+            for j in range(len(rows))
+        )
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, text in enumerate(cells):
+            parts.append(text.rjust(widths[i]) if is_numeric(i) else text.ljust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(columns))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(r) for r in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Wire format of the Data Manager: length-prefixed pickled messages.
+
+Four message types realise paper §4.2's channel lifecycle:
+
+* :class:`ChannelSetup` — opens a channel for one AFG edge (carries the
+  "resource allocation information" relevant to the channel);
+* :class:`Ack` — "the communication proxy sends an acknowledgment";
+* :class:`Data` — one inter-task payload;
+* :class:`Fin` — orderly channel teardown.
+
+Framing is an 8-byte big-endian length followed by the pickle of the
+message object.  Pickle keeps numpy payloads fast and exact; the trust
+model is a single research machine (documented in the package docstring).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Any, Tuple, Union
+
+__all__ = [
+    "Ack",
+    "ChannelSetup",
+    "Data",
+    "Fin",
+    "Message",
+    "read_message",
+    "write_message",
+]
+
+_HEADER = struct.Struct(">Q")
+#: refuse frames over 256 MiB — a corrupted header otherwise allocates wild
+_MAX_FRAME = 256 * 1024 * 1024
+
+EdgeKey = Tuple[str, str, int, int]
+
+
+@dataclass(frozen=True)
+class ChannelSetup:
+    application: str
+    edge: EdgeKey
+    src_host: str
+    dst_host: str
+
+
+@dataclass(frozen=True)
+class Ack:
+    application: str
+    edge: EdgeKey
+
+
+@dataclass(frozen=True)
+class Data:
+    application: str
+    edge: EdgeKey
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Fin:
+    application: str
+    edge: EdgeKey
+
+
+Message = Union[ChannelSetup, Ack, Data, Fin]
+
+
+class WireError(ConnectionError):
+    """Malformed frame or closed connection mid-frame."""
+
+
+def write_message(sock: socket.socket, message: Message) -> int:
+    """Serialise and send one frame; returns bytes written."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > _MAX_FRAME:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    frame = _HEADER.pack(len(body)) + body
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _read_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> Message:
+    """Read one frame; raises :class:`WireError` on close/corruption."""
+    header = _read_exactly(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise WireError(f"frame header claims {length} bytes")
+    body = _read_exactly(sock, length)
+    message = pickle.loads(body)
+    if not isinstance(message, (ChannelSetup, Ack, Data, Fin)):
+        raise WireError(f"unexpected message type {type(message).__name__}")
+    return message

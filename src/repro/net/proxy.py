@@ -1,0 +1,191 @@
+"""Communication proxies: one per (logical) host, real TCP underneath.
+
+A :class:`CommunicationProxy` is the per-machine agent of paper §4.2:
+it listens on a localhost TCP port, accepts channel-setup requests for
+the AFG edges whose *destination* task runs on its host, acknowledges
+them, and delivers arriving payloads to per-edge inboxes.  The sending
+side (:meth:`open_channel` / :class:`OutChannel`) connects, performs
+the setup/ack handshake, and streams data.
+
+Threading model: one accept thread per proxy, one handler thread per
+inbound connection.  All blocking operations take timeouts so protocol
+bugs surface as errors, never hangs.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.messages import (
+    Ack,
+    ChannelSetup,
+    Data,
+    Fin,
+    EdgeKey,
+    read_message,
+    write_message,
+)
+
+__all__ = ["CommunicationProxy", "OutChannel", "ProxyError"]
+
+_DEFAULT_TIMEOUT = 10.0
+
+
+class ProxyError(RuntimeError):
+    """Channel setup/delivery failure."""
+
+
+class OutChannel:
+    """Sender end of one edge channel (created by :meth:`open_channel`)."""
+
+    def __init__(self, sock: socket.socket, application: str, edge: EdgeKey):
+        self._sock = sock
+        self.application = application
+        self.edge = edge
+        self.bytes_sent = 0
+        self._closed = False
+
+    def send(self, payload: Any) -> None:
+        if self._closed:
+            raise ProxyError(f"channel {self.edge} already closed")
+        self.bytes_sent += write_message(
+            self._sock, Data(self.application, self.edge, payload)
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            write_message(self._sock, Fin(self.application, self.edge))
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class CommunicationProxy:
+    """Listener + per-edge inboxes for one logical host."""
+
+    def __init__(self, host_name: str, timeout_s: float = _DEFAULT_TIMEOUT):
+        self.host_name = host_name
+        self.timeout_s = timeout_s
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._inboxes: Dict[EdgeKey, "queue.Queue[Any]"] = {}
+        self._inbox_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self.setups_accepted = 0
+        self.acks_sent = 0
+        self.payloads_received = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"proxy-accept:{host_name}", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- receiving side -----------------------------------------------------
+
+    def _inbox(self, edge: EdgeKey) -> "queue.Queue[Any]":
+        with self._inbox_lock:
+            if edge not in self._inboxes:
+                self._inboxes[edge] = queue.Queue()
+            return self._inboxes[edge]
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name=f"proxy-conn:{self.host_name}",
+                daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(self.timeout_s)
+        try:
+            setup = read_message(conn)
+            if not isinstance(setup, ChannelSetup):
+                raise ProxyError(
+                    f"first message must be ChannelSetup, got "
+                    f"{type(setup).__name__}"
+                )
+            self.setups_accepted += 1
+            write_message(conn, Ack(setup.application, setup.edge))
+            self.acks_sent += 1
+            inbox = self._inbox(setup.edge)
+            while True:
+                message = read_message(conn)
+                if isinstance(message, Fin):
+                    return
+                if isinstance(message, Data):
+                    self.payloads_received += 1
+                    inbox.put(message.payload)
+                else:
+                    raise ProxyError(
+                        f"unexpected {type(message).__name__} on data channel"
+                    )
+        except (ConnectionError, OSError, socket.timeout):
+            return
+        finally:
+            conn.close()
+
+    def receive(self, edge: EdgeKey, timeout_s: Optional[float] = None) -> Any:
+        """Block until a payload for ``edge`` arrives."""
+        try:
+            return self._inbox(edge).get(timeout=timeout_s or self.timeout_s)
+        except queue.Empty:
+            raise ProxyError(
+                f"timed out waiting for data on edge {edge} at "
+                f"{self.host_name}"
+            ) from None
+
+    # -- sending side --------------------------------------------------------------
+
+    def open_channel(
+        self,
+        application: str,
+        edge: EdgeKey,
+        target: Tuple[str, int],
+        dst_host: str,
+    ) -> OutChannel:
+        """Connect to the destination proxy and complete setup + ack."""
+        sock = socket.create_connection(target, timeout=self.timeout_s)
+        try:
+            write_message(
+                sock,
+                ChannelSetup(application, edge, self.host_name, dst_host),
+            )
+            ack = read_message(sock)
+            if not isinstance(ack, Ack) or ack.edge != edge:
+                raise ProxyError(f"bad ack for edge {edge}: {ack!r}")
+        except Exception:
+            sock.close()
+            raise
+        return OutChannel(sock, application, edge)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CommunicationProxy":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,83 @@
+"""Task-constraints database: where each task's executable lives.
+
+Paper §3: "A task constraints database is used to store the location
+information of each task (i.e., the absolute path of the task
+executable) for each host."
+
+The host-selection algorithm may only place a task on hosts that have
+an executable registered; this is how heterogeneous sites (different
+arch/OS per host) constrain placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["TaskConstraintsDB"]
+
+
+class TaskConstraintsDB:
+    """(task_type, host) -> absolute executable path."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self._paths: Dict[Tuple[str, str], str] = {}
+        self._hosts_by_task: Dict[str, List[str]] = {}
+
+    def register(self, task_type: str, host: str, path: str) -> None:
+        if not path.startswith("/"):
+            raise ValueError(
+                f"executable path must be absolute, got {path!r}"
+            )
+        key = (task_type, host)
+        if key in self._paths:
+            raise ValueError(
+                f"executable for {task_type!r} on {host!r} already registered"
+            )
+        self._paths[key] = path
+        self._hosts_by_task.setdefault(task_type, []).append(host)
+
+    def install_everywhere(
+        self, task_types: Iterable[str], hosts: Iterable[str],
+        prefix: str = "/usr/local/vdce/tasks",
+    ) -> int:
+        """Bring-up helper: register every task on every host.
+
+        Returns the number of (task, host) pairs added.  Pairs already
+        registered are skipped so per-host overrides survive.
+        """
+        count = 0
+        host_list = list(hosts)
+        for task_type in task_types:
+            for host in host_list:
+                if (task_type, host) in self._paths:
+                    continue
+                self.register(task_type, host, f"{prefix}/{task_type}/bin")
+                count += 1
+        return count
+
+    def executable_path(self, task_type: str, host: str) -> str:
+        try:
+            return self._paths[(task_type, host)]
+        except KeyError:
+            raise KeyError(
+                f"no executable for {task_type!r} on host {host!r} "
+                f"(site {self.site_name!r})"
+            ) from None
+
+    def is_runnable(self, task_type: str, host: str) -> bool:
+        return (task_type, host) in self._paths
+
+    def hosts_supporting(self, task_type: str) -> List[str]:
+        return list(self._hosts_by_task.get(task_type, []))
+
+    def remove_host(self, host: str) -> int:
+        """Drop all registrations for a decommissioned host."""
+        doomed = [key for key in self._paths if key[1] == host]
+        for key in doomed:
+            del self._paths[key]
+            self._hosts_by_task[key[0]].remove(host)
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._paths)

@@ -1,0 +1,142 @@
+"""Resource-performance database: host attributes + live workload view.
+
+Paper §3: "A resource performance database provides resource (machine
+and network) attributes or parameters such as host name, IP address,
+architecture type, OS type, total memory size of the machine, recent
+workload measurements, and available memory size."
+
+Crucially this database holds the *scheduler's belief*, not ground
+truth: entries are only as fresh as the last Monitor -> Group Manager
+-> Site Manager update (paper §4.1), and experiment E5 measures exactly
+that staleness.  ``mark_down`` realises "the host is then marked as
+'down' at the site's resource-performance database".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.sim.host import HostSpec
+from repro.sim.network import LinkSpec
+
+__all__ = ["HostRecord", "ResourcePerformanceDB"]
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """One host's row: static spec + last-reported dynamic state."""
+
+    spec: HostSpec
+    site: str
+    group: str = ""
+    up: bool = True
+    #: last reported run-queue length (recent workload measurement)
+    load: float = 0.0
+    available_memory_mb: int = 0
+    #: virtual time of the last workload update (-inf = never reported)
+    updated_at: float = float("-inf")
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class ResourcePerformanceDB:
+    """Host rows plus the network attributes of the site's links."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self._hosts: Dict[str, HostRecord] = {}
+        #: network attributes: link name -> spec (LAN + WANs to neighbours)
+        self._links: Dict[str, LinkSpec] = {}
+        self.workload_updates = 0
+        self.status_updates = 0
+
+    # -- host registration --------------------------------------------------
+
+    def register_host(self, spec: HostSpec, group: str = "") -> HostRecord:
+        if spec.name in self._hosts:
+            raise ValueError(f"host {spec.name!r} already registered")
+        record = HostRecord(
+            spec=spec,
+            site=self.site_name,
+            group=group,
+            available_memory_mb=spec.memory_mb,
+        )
+        self._hosts[spec.name] = record
+        return record
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    def get(self, name: str) -> HostRecord:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(
+                f"host {name!r} not in resource DB of site {self.site_name!r}"
+            ) from None
+
+    # -- dynamic updates (written by the Site Manager) -----------------------
+
+    def update_workload(
+        self, name: str, load: float, available_memory_mb: int, time: float
+    ) -> HostRecord:
+        if load < 0:
+            raise ValueError(f"negative load for {name!r}")
+        if available_memory_mb < 0:
+            raise ValueError(f"negative available memory for {name!r}")
+        record = replace(
+            self.get(name),
+            load=load,
+            available_memory_mb=available_memory_mb,
+            updated_at=time,
+        )
+        self._hosts[name] = record
+        self.workload_updates += 1
+        return record
+
+    def mark_down(self, name: str, time: float) -> HostRecord:
+        record = replace(self.get(name), up=False, updated_at=time)
+        self._hosts[name] = record
+        self.status_updates += 1
+        return record
+
+    def mark_up(self, name: str, time: float) -> HostRecord:
+        record = replace(self.get(name), up=True, updated_at=time)
+        self._hosts[name] = record
+        self.status_updates += 1
+        return record
+
+    # -- queries (read by the scheduler) ---------------------------------------
+
+    def all_hosts(self) -> List[HostRecord]:
+        return list(self._hosts.values())
+
+    def up_hosts(self) -> List[HostRecord]:
+        return [r for r in self._hosts.values() if r.up]
+
+    def host_names(self) -> List[str]:
+        return list(self._hosts)
+
+    def staleness(self, name: str, now: float) -> float:
+        """Age of the last workload report for ``name`` at time ``now``."""
+        return now - self.get(name).updated_at
+
+    # -- network attributes ------------------------------------------------------
+
+    def set_link(self, name: str, spec: LinkSpec) -> None:
+        self._links[name] = spec
+
+    def get_link(self, name: str) -> LinkSpec:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise KeyError(f"unknown link {name!r}") from None
+
+    def links(self) -> Dict[str, LinkSpec]:
+        return dict(self._links)
+
+    def __len__(self) -> int:
+        return len(self._hosts)

@@ -1,0 +1,79 @@
+"""SiteRepository: the four databases of one site, bundled.
+
+The Site Manager "bridges the VDCE modules to the site databases"
+(paper §1); in this codebase every module that the paper routes through
+the Site Manager takes a :class:`SiteRepository` and reads/writes the
+appropriate member database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.repository.constraints import TaskConstraintsDB
+from repro.repository.resources import ResourcePerformanceDB
+from repro.repository.taskperf import TaskPerformanceDB
+from repro.repository.users import AccessDomain, UserAccountsDB
+from repro.sim.site import Site
+from repro.tasklib.registry import TaskRegistry
+
+__all__ = ["SiteRepository"]
+
+
+class SiteRepository:
+    """User accounts + resource performance + task performance + constraints."""
+
+    def __init__(self, site_name: str):
+        self.site_name = site_name
+        self.users = UserAccountsDB()
+        self.resources = ResourcePerformanceDB(site_name)
+        self.task_perf = TaskPerformanceDB(site_name)
+        self.constraints = TaskConstraintsDB(site_name)
+
+    @classmethod
+    def bootstrap(
+        cls,
+        site: Site,
+        registry: TaskRegistry,
+        admin_password: str = "vdce-admin",
+    ) -> "SiteRepository":
+        """Bring up a repository for a simulated site.
+
+        Registers every site host in the resource DB (with its group),
+        seeds the task-performance DB from the library registry,
+        installs every task executable on every host, and creates an
+        ``admin`` account — the state a freshly deployed VDCE server
+        would have after its install scripts ran.
+        """
+        repo = cls(site.name)
+        for group in site.groups.values():
+            for host in group:
+                repo.resources.register_host(host.spec, group=group.name)
+        repo.task_perf.load_from_registry(registry)
+        repo.constraints.install_everywhere(
+            registry.names(), (h.name for h in site)
+        )
+        repo.users.add_user(
+            "admin",
+            admin_password,
+            priority=10,
+            access_domain=AccessDomain.GLOBAL,
+        )
+        return repo
+
+    def runnable_up_hosts(self, task_type: str) -> list:
+        """Hosts that are up *and* have the task's executable installed.
+
+        The intersection the host-selection algorithm iterates over.
+        """
+        return [
+            record
+            for record in self.resources.up_hosts()
+            if self.constraints.is_runnable(task_type, record.name)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SiteRepository({self.site_name!r}, hosts={len(self.resources)}, "
+            f"tasks={len(self.task_perf)}, users={len(self.users)})"
+        )

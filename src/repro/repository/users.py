@@ -1,0 +1,134 @@
+"""User-accounts database: authentication for the Application Editor.
+
+Paper §3: "A user-accounts database is used to handle user
+authentication.  In [the] user-accounts database, each VDCE user
+account is represented by a 5-tuple: user name, password, user ID,
+priority, and access domain type."
+
+Passwords are stored salted-and-hashed (the paper predates that being
+table stakes; a credible release cannot store plaintext).  Priority
+feeds the Site Manager's admission queue; access domain controls which
+sites a user's applications may be scheduled onto.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["AccessDomain", "AuthenticationError", "UserAccount", "UserAccountsDB"]
+
+
+class AuthenticationError(RuntimeError):
+    """Bad user name or password (message does not say which)."""
+
+
+class AccessDomain(enum.Enum):
+    """Which resources an account may schedule onto."""
+
+    LOCAL = "local"       # local site only
+    CAMPUS = "campus"     # local + nearest-neighbour sites
+    GLOBAL = "global"     # any VDCE site
+
+
+def _hash_password(password: str, salt: bytes) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, 10_000)
+
+
+@dataclass(frozen=True)
+class UserAccount:
+    """The paper's 5-tuple (password kept only as salt+hash)."""
+
+    user_name: str
+    user_id: int
+    priority: int
+    access_domain: AccessDomain
+    salt: bytes = field(repr=False)
+    password_hash: bytes = field(repr=False)
+
+    def verify(self, password: str) -> bool:
+        return hmac.compare_digest(
+            self.password_hash, _hash_password(password, self.salt)
+        )
+
+
+class UserAccountsDB:
+    """Per-site account store with deterministic user-id allocation."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, UserAccount] = {}
+        self._next_uid = 1000
+
+    def add_user(
+        self,
+        user_name: str,
+        password: str,
+        priority: int = 1,
+        access_domain: AccessDomain = AccessDomain.LOCAL,
+        user_id: Optional[int] = None,
+    ) -> UserAccount:
+        if not user_name:
+            raise ValueError("user name must be non-empty")
+        if user_name in self._accounts:
+            raise ValueError(f"user {user_name!r} already exists")
+        if not password:
+            raise ValueError("password must be non-empty")
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        if user_id is None:
+            user_id = self._next_uid
+            self._next_uid += 1
+        salt = os.urandom(16)
+        account = UserAccount(
+            user_name=user_name,
+            user_id=user_id,
+            priority=priority,
+            access_domain=access_domain,
+            salt=salt,
+            password_hash=_hash_password(password, salt),
+        )
+        self._accounts[user_name] = account
+        return account
+
+    def authenticate(self, user_name: str, password: str) -> UserAccount:
+        """Return the account or raise :class:`AuthenticationError`."""
+        account = self._accounts.get(user_name)
+        if account is None or not account.verify(password):
+            raise AuthenticationError("invalid user name or password")
+        return account
+
+    def get(self, user_name: str) -> UserAccount:
+        try:
+            return self._accounts[user_name]
+        except KeyError:
+            raise KeyError(f"unknown user {user_name!r}") from None
+
+    def remove(self, user_name: str) -> None:
+        if user_name not in self._accounts:
+            raise KeyError(f"unknown user {user_name!r}")
+        del self._accounts[user_name]
+
+    def set_priority(self, user_name: str, priority: int) -> UserAccount:
+        if priority < 0:
+            raise ValueError("priority must be non-negative")
+        old = self.get(user_name)
+        updated = UserAccount(
+            user_name=old.user_name,
+            user_id=old.user_id,
+            priority=priority,
+            access_domain=old.access_domain,
+            salt=old.salt,
+            password_hash=old.password_hash,
+        )
+        self._accounts[user_name] = updated
+        return updated
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def __contains__(self, user_name: str) -> bool:
+        return user_name in self._accounts

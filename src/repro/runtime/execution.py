@@ -1,0 +1,469 @@
+"""Application execution: the simulated Data Manager protocol (paper §4.2).
+
+The :class:`ExecutionCoordinator` drives one application through the
+full runtime pipeline:
+
+1. **Allocation distribution** — the local Site Manager sends each
+   involved site its portion of the resource allocation table (WAN hop
+   for remote sites), and each Site Manager multicasts to its Group
+   Managers, which send execution requests to the Application
+   Controllers (paper §4.1, Fig. 4 flows 4-5).
+2. **Channel setup** — "The Data Managers on the assigned machines set
+   up the application execution environment by starting the task
+   executions and creating point-to-point communication channels for
+   inter-task data transfer": one channel per AFG edge, with a setup
+   message and an acknowledgement, each charged the latency of the link
+   the channel crosses.
+3. **Startup** — "When all the required acknowledgments are received an
+   execution startup signal is sent to start the application
+   execution."
+4. **Execution** — per-task processes wait for their inputs (dataflow
+   edges and staged files), run their slices on the assigned host(s),
+   and push outputs down their channels as real, contention-aware
+   network transfers.
+5. **Fault handling** — a slice killed by a host failure, or terminated
+   by the Application Controller's load threshold, triggers a
+   rescheduling request; the coordinator obtains a replacement
+   placement from the Site Managers, re-stages the task's inputs to the
+   new host, and re-executes.  (Paper §4.1: "the Application Controller
+   terminates the task execution on the machine and sends a task
+   rescheduling request".)
+6. **Refinement** — after completion the Site Managers fold measured
+   execution times back into their task-performance databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.afg.graph import ApplicationFlowGraph, Edge
+from repro.afg.task import TaskNode
+from repro.runtime.stats import RuntimeStats
+from repro.scheduler.allocation import AllocationTable, TaskAssignment
+from repro.sim.host import HostDownError, Interrupted
+from repro.sim.kernel import AllOf, Signal, Simulator, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.vdce_runtime import VDCERuntime
+
+__all__ = ["ApplicationResult", "ExecutionCoordinator", "ExecutionError", "TaskRecord"]
+
+#: small fixed cost of emitting the startup broadcast
+_STARTUP_BROADCAST_S = 0.001
+
+
+class ExecutionError(RuntimeError):
+    """The application cannot make progress (no replacement host, ...)."""
+
+
+@dataclass
+class TaskRecord:
+    """Per-task execution telemetry."""
+
+    task_id: str
+    task_type: str
+    site: str
+    hosts: Tuple[str, ...]
+    predicted_time: float
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    measured_time: float = 0.0
+    attempts: int = 0
+    reschedule_reasons: List[str] = field(default_factory=list)
+
+    @property
+    def was_rescheduled(self) -> bool:
+        return bool(self.reschedule_reasons)
+
+
+@dataclass
+class ApplicationResult:
+    """What one application run produced and how long each stage took."""
+
+    application: str
+    scheduler: str
+    submitted_at: float
+    startup_at: float
+    finished_at: float
+    records: Dict[str, TaskRecord]
+    outputs: Dict[str, List[Any]]
+    data_transfers: int
+    data_transferred_mb: float
+    reschedules: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (omits output payloads, which may be arrays).
+
+        This is what the web editor's status/visualisation endpoints
+        return and what experiment scripts archive.
+        """
+        return {
+            "application": self.application,
+            "scheduler": self.scheduler,
+            "submitted_at": self.submitted_at,
+            "startup_at": self.startup_at,
+            "finished_at": self.finished_at,
+            "makespan_s": self.makespan,
+            "setup_s": self.setup_time,
+            "reschedules": self.reschedules,
+            "data_transfers": self.data_transfers,
+            "data_transferred_mb": self.data_transferred_mb,
+            "tasks": {
+                task_id: {
+                    "task_type": r.task_type,
+                    "site": r.site,
+                    "hosts": list(r.hosts),
+                    "predicted_s": r.predicted_time,
+                    "measured_s": r.measured_time,
+                    "started_at": r.started_at,
+                    "finished_at": r.finished_at,
+                    "attempts": r.attempts,
+                    "reschedule_reasons": list(r.reschedule_reasons),
+                }
+                for task_id, r in self.records.items()
+            },
+        }
+
+    @property
+    def setup_time(self) -> float:
+        """Allocation distribution + channel setup (submit -> startup)."""
+        return self.startup_at - self.submitted_at
+
+    @property
+    def makespan(self) -> float:
+        """Execution time proper (startup signal -> last task finish)."""
+        return self.finished_at - self.startup_at
+
+    @property
+    def total_time(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    def hosts_used(self) -> List[str]:
+        return sorted({h for r in self.records.values() for h in r.hosts})
+
+    def comm_to_compute_ratio(self) -> float:
+        compute = sum(r.measured_time for r in self.records.values())
+        if compute <= 0:
+            return 0.0
+        comm = self.makespan - max(
+            (r.measured_time for r in self.records.values()), default=0.0
+        )
+        return max(0.0, comm) / compute
+
+
+def _edge_key(edge: Edge) -> Tuple[str, str, int, int]:
+    return (edge.src, edge.dst, edge.src_port, edge.dst_port)
+
+
+class ExecutionCoordinator:
+    """Runs one application to completion on a :class:`VDCERuntime`."""
+
+    def __init__(
+        self,
+        runtime: "VDCERuntime",
+        afg: ApplicationFlowGraph,
+        table: AllocationTable,
+        execute_payloads: bool = True,
+        submit_site: Optional[str] = None,
+    ):
+        table.validate_against(afg)
+        self.runtime = runtime
+        self.sim: Simulator = runtime.sim
+        self.stats: RuntimeStats = runtime.stats
+        self.afg = afg
+        self.table = table
+        self.execute_payloads = execute_payloads
+        self.submit_site = submit_site or runtime.default_site
+        #: live assignment (diverges from the table after rescheduling)
+        self.assignment: Dict[str, TaskAssignment] = dict(table.assignments)
+        #: edge signals carrying produced values to consumers
+        self._edge_ready: Dict[Tuple[str, str, int, int], Signal] = {}
+        #: delivered edge values (used for re-staging after reschedule)
+        self._edge_value: Dict[Tuple[str, str, int, int], Any] = {}
+        self.records: Dict[str, TaskRecord] = {}
+        self.outputs: Dict[str, List[Any]] = {}
+        self._excluded_hosts: Dict[str, set] = {}
+        self._transfers = 0
+        self._transferred_mb = 0.0
+        self._reschedules = 0
+
+    # -- public API --------------------------------------------------------
+
+    def start(self):
+        """Spawn the coordinator process; its value is ApplicationResult."""
+        return self.sim.process(self._run(), name=f"app:{self.afg.name}")
+
+    # -- protocol ------------------------------------------------------------
+
+    def _run(self):
+        submitted_at = self.sim.now
+
+        # Phase 1: distribute allocation-table portions.
+        yield from self._distribute_allocation()
+
+        # Phase 2: channel setup + acks for every AFG edge.
+        yield from self._setup_channels()
+
+        # Phase 3: the execution startup signal.
+        self.stats.startup_signals += 1
+        yield Timeout(_STARTUP_BROADCAST_S)
+        startup_at = self.sim.now
+
+        # Phase 4: per-task processes; wait for all of them.
+        procs = [
+            self.sim.process(
+                self._task_process(task_id), name=f"task:{self.afg.name}:{task_id}"
+            )
+            for task_id in self.afg.topological_order()
+        ]
+        for proc in procs:
+            yield proc
+        finished_at = self.sim.now
+
+        # Phase 6: post-execution task-performance refinement.
+        for record in self.records.values():
+            manager = self.runtime.site_managers[record.site]
+            if record.predicted_time > 0:
+                manager.record_completed_execution(
+                    record.task_type,
+                    record.hosts[0],
+                    expected_s=record.predicted_time,
+                    measured_s=record.measured_time,
+                )
+
+        for controller in self.runtime.app_controllers.values():
+            controller.release(self.afg.name)
+
+        return ApplicationResult(
+            application=self.afg.name,
+            scheduler=self.table.scheduler,
+            submitted_at=submitted_at,
+            startup_at=startup_at,
+            finished_at=finished_at,
+            records=dict(self.records),
+            outputs=dict(self.outputs),
+            data_transfers=self._transfers,
+            data_transferred_mb=self._transferred_mb,
+            reschedules=self._reschedules,
+        )
+
+    def _distribute_allocation(self):
+        """Phase 1: local SM -> remote SMs -> Group Managers -> Controllers."""
+        signals = []
+        for site_name in self.table.sites_used():
+            manager = self.runtime.site_managers[site_name]
+            if site_name != self.submit_site:
+                # one WAN message carrying the table portion
+                self.stats.allocation_messages += 1
+                latency = self.runtime.topology.network.wan_link(
+                    self.submit_site, site_name
+                ).spec.latency_s
+                yield Timeout(latency)
+            signals.append(manager.distribute_allocation(self.table, self.afg))
+        if signals:
+            yield AllOf(signals)
+
+    def _setup_channels(self):
+        """Phase 2: one point-to-point channel per edge, setup + ack."""
+        network = self.runtime.topology.network
+
+        def setup(edge: Edge):
+            src_host = self.assignment[edge.src].primary_host
+            dst_host = self.assignment[edge.dst].primary_host
+            link = network.link_between(src_host, dst_host)
+            latency = link.spec.latency_s if link is not None else 0.0
+            self.stats.channel_setups += 1
+            yield Timeout(latency)  # communication proxy sets up the socket
+            self.stats.channel_acks += 1
+            yield Timeout(latency)  # acknowledgment back to the controller
+            self._edge_ready[_edge_key(edge)] = self.sim.signal(
+                f"edge:{edge.src}->{edge.dst}"
+            )
+
+        procs = [
+            self.sim.process(setup(edge), name=f"chan:{edge.src}->{edge.dst}")
+            for edge in self.afg.edges
+        ]
+        if procs:
+            yield AllOf(procs)
+
+    # -- per-task execution -----------------------------------------------------
+
+    def _task_process(self, task_id: str):
+        node = self.afg.task(task_id)
+        assignment = self.assignment[task_id]
+        record = TaskRecord(
+            task_id=task_id,
+            task_type=node.task_type,
+            site=assignment.site,
+            hosts=assignment.hosts,
+            predicted_time=assignment.predicted_time,
+        )
+        self.records[task_id] = record
+
+        # Gather dataflow inputs (in dst_port order for the implementation).
+        in_edges = sorted(self.afg.in_edges(task_id), key=lambda e: e.dst_port)
+        port_values: Dict[int, Any] = {}
+        for edge in in_edges:
+            value = yield self._edge_ready[_edge_key(edge)]
+            port_values[edge.dst_port] = value
+
+        # Stage explicit file inputs from the submitting site's server.
+        src_server = self.runtime.topology.site(self.submit_site).server_host.name
+        for binding in node.properties.file_inputs():
+            dst = self.assignment[task_id].primary_host
+            value = yield from self.runtime.io_service.stage(
+                binding.file, src_server, dst
+            )
+            port_values[binding.port] = value
+
+        inputs = [port_values.get(p) for p in range(node.n_in_ports)]
+
+        # Console service gate (suspend/restart).
+        yield from self.runtime.console.wait_if_suspended(self.afg.name)
+
+        # Execute, retrying through reschedules.
+        record.started_at = self.sim.now
+        yield from self._execute_with_recovery(node, record, inputs)
+        record.finished_at = self.sim.now
+
+        # Produce real output values.
+        if self.execute_payloads:
+            signature = self.runtime.registry.get(node.task_type)
+            outputs = signature.run(inputs, node.properties.workload_scale)
+        else:
+            outputs = [None] * node.n_out_ports
+        if not self.afg.out_edges(task_id):
+            self.outputs[task_id] = outputs
+
+        # Push outputs down the channels as real transfers.
+        network = self.runtime.topology.network
+        for edge in self.afg.out_edges(task_id):
+            value = outputs[edge.src_port] if outputs else None
+            src_host = self.assignment[task_id].primary_host
+            dst_host = self.assignment[edge.dst].primary_host
+            transfer = network.transfer(
+                src_host, dst_host, edge.size_mb,
+                label=f"{edge.src}->{edge.dst}",
+            )
+            self._transfers += 1
+            self._transferred_mb += edge.size_mb
+            self.stats.data_transfers += 1
+            self.stats.data_transferred_mb += edge.size_mb
+            key = _edge_key(edge)
+
+            def deliver(key=key, value=value, transfer=transfer):
+                yield transfer.done
+                self._edge_value[key] = value
+                self._edge_ready[key].succeed(value)
+
+            self.sim.process(deliver(), name=f"xfer:{key[0]}->{key[1]}")
+
+    def _execute_with_recovery(self, node: TaskNode, record: TaskRecord, inputs):
+        """Run the task's slice(s); on failure/threshold, reschedule and retry."""
+        signature = self.runtime.registry.get(node.task_type)
+        props = node.properties
+        n_nodes = props.n_nodes if props.is_parallel else 1
+        span_work = signature.span_work(props.workload_scale, n_nodes)
+        memory_mb = props.memory_mb or signature.memory_mb(props.workload_scale)
+
+        while True:
+            record.attempts += 1
+            assignment = self.assignment[node.id]
+            attempt_start = self.sim.now
+            controllers = [
+                self.runtime.app_controllers[h] for h in assignment.hosts
+            ]
+            executions = []
+            for controller in controllers:
+                try:
+                    execution = controller.start_slice(
+                        span_work, memory_mb, label=f"{self.afg.name}:{node.id}"
+                    )
+                except HostDownError:
+                    yield from self._reschedule(node, record, "host down at start")
+                    executions = None
+                    break
+                executions.append(execution)
+                controller.watch(execution, node.id, lambda *args: None)
+            if executions is None:
+                continue
+
+            try:
+                for execution in executions:
+                    yield execution.done
+            except (HostDownError, Interrupted) as exc:
+                # kill surviving siblings before rescheduling
+                for execution in executions:
+                    if not execution.done.triggered:
+                        execution.host.cancel(execution, cause="sibling failed")
+                yield from self._reschedule(node, record, str(exc))
+                continue
+
+            record.measured_time = self.sim.now - attempt_start
+            return
+
+    def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str):
+        """Obtain a replacement placement and re-stage inputs onto it."""
+        self._reschedules += 1
+        self.stats.reschedule_requests += 1
+        excluded = self._excluded_hosts.setdefault(node.id, set())
+        excluded.update(self.assignment[node.id].hosts)
+        record.reschedule_reasons.append(reason)
+        if "down" in reason.lower():
+            self.stats.failure_restarts += 1
+
+        # Ask sites in locality order: current site, submit site, neighbours.
+        current = self.assignment[node.id].site
+        order = [current, self.submit_site] + [
+            s for s in self.runtime.neighbor_order(self.submit_site)
+        ]
+        seen = set()
+        replacement = None
+        for site_name in order:
+            if site_name in seen:
+                continue
+            seen.add(site_name)
+            manager = self.runtime.site_managers[site_name]
+            bid = manager.reselect_host(
+                self.afg, node.id, frozenset(excluded), self.runtime.model
+            )
+            if bid is not None:
+                replacement = bid
+                break
+        if replacement is None:
+            raise ExecutionError(
+                f"no replacement host for task {node.id!r} "
+                f"(excluded: {sorted(excluded)}; reason: {reason})"
+            )
+
+        new_assignment = TaskAssignment(
+            task_id=node.id,
+            site=replacement.site,
+            hosts=replacement.hosts,
+            predicted_time=replacement.predicted_time,
+        )
+        self.assignment[node.id] = new_assignment
+        record.site = new_assignment.site
+        record.hosts = new_assignment.hosts
+
+        # Re-stage inputs onto the new primary host.
+        network = self.runtime.topology.network
+        new_primary = new_assignment.primary_host
+        for edge in self.afg.in_edges(node.id):
+            src_host = self.assignment[edge.src].primary_host
+            transfer = network.transfer(
+                src_host, new_primary, edge.size_mb,
+                label=f"restage:{edge.src}->{edge.dst}",
+            )
+            self._transfers += 1
+            self._transferred_mb += edge.size_mb
+            self.stats.data_transfers += 1
+            self.stats.data_transferred_mb += edge.size_mb
+            yield transfer.done
+        src_server = self.runtime.topology.site(self.submit_site).server_host.name
+        for binding in node.properties.file_inputs():
+            yield from self.runtime.io_service.stage(
+                binding.file, src_server, new_primary
+            )

@@ -1,0 +1,149 @@
+"""Group Managers — one per group-leader machine (paper §4.1, Fig. 4).
+
+Two responsibilities, both verbatim from the paper:
+
+* *Significant-change filtering*: "The Group Manager sends to the Site
+  Manager only the workloads of the resources that have changed
+  considerably from the previous measurement."  ``change_threshold``
+  quantifies "considerably" (absolute run-queue delta); E5 sweeps it.
+* *Echo-packet failure detection*: "Another function of the Group
+  Manager is to periodically check all hosts in the group by sending
+  echo packets to hosts and waiting for their responses.  When a
+  failure of a host is detected, the Group Manager passes this
+  information to the Site Manager."  Recovery detection (a previously
+  down host answering again) is the natural complement and is needed
+  for any long-running deployment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.runtime.monitor import Measurement
+from repro.runtime.stats import RuntimeStats
+from repro.sim.kernel import Process, Simulator, Timeout
+from repro.sim.site import Group
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.site_manager import SiteManager
+
+__all__ = ["GroupManager"]
+
+
+class GroupManager:
+    """Filtering relay + failure detector for one host group."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        group: Group,
+        site_manager: "SiteManager",
+        stats: RuntimeStats,
+        change_threshold: float = 0.25,
+        echo_period_s: float = 5.0,
+        lan_latency_s: float = 0.0005,
+        echo_loss_prob: float = 0.0,
+        suspicion_threshold: int = 1,
+    ):
+        """``echo_loss_prob`` models a lossy campus LAN: each echo round
+        trip independently fails with this probability.  A host is only
+        declared down after ``suspicion_threshold`` *consecutive* missed
+        echoes — the standard guard against false positives (with the
+        default of 1, behaviour is the paper's immediate declaration)."""
+        if change_threshold < 0:
+            raise ValueError("change_threshold must be non-negative")
+        if echo_period_s <= 0:
+            raise ValueError("echo_period_s must be positive")
+        if not (0.0 <= echo_loss_prob < 1.0):
+            raise ValueError("echo_loss_prob must be in [0, 1)")
+        if suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        self.sim = sim
+        self.group = group
+        self.site_manager = site_manager
+        self.stats = stats
+        self.change_threshold = float(change_threshold)
+        self.echo_period_s = float(echo_period_s)
+        self.lan_latency_s = float(lan_latency_s)
+        self.echo_loss_prob = float(echo_loss_prob)
+        self.suspicion_threshold = int(suspicion_threshold)
+        #: last workload value forwarded upward, per host
+        self._last_forwarded: Dict[str, float] = {}
+        #: what this Group Manager believes about host liveness
+        self._believed_up: Dict[str, bool] = {h.name: True for h in group}
+        #: consecutive missed echoes per host
+        self._missed: Dict[str, int] = {h.name: 0 for h in group}
+        self._echo_process: Optional[Process] = None
+        self.false_positives = 0
+
+    @property
+    def name(self) -> str:
+        return self.group.name
+
+    # -- workload path ----------------------------------------------------
+
+    def receive_measurement(self, measurement: Measurement) -> None:
+        """Monitor daemon delivery; forward only significant changes.
+
+        The first measurement for a host is always significant (the
+        Site Manager has nothing yet).
+        """
+        last = self._last_forwarded.get(measurement.host)
+        if last is not None and abs(measurement.load - last) < self.change_threshold:
+            self.stats.workload_suppressed += 1
+            return
+        self._last_forwarded[measurement.host] = measurement.load
+        self.stats.workload_forwards += 1
+        self.sim.call_after(
+            self.lan_latency_s,
+            lambda: self.site_manager.receive_workload(measurement),
+        )
+
+    # -- echo / failure detection ----------------------------------------------
+
+    def start_echo(self) -> Process:
+        if self._echo_process is not None and self._echo_process.alive:
+            raise RuntimeError(f"echo process for group {self.name} already running")
+        self._echo_process = self.sim.process(
+            self._echo_loop(), name=f"echo:{self.name}"
+        )
+        return self._echo_process
+
+    def _echo_loop(self):
+        rng = self.sim.rng(f"echo:{self.name}")
+        while True:
+            yield Timeout(self.echo_period_s)
+            for host in self.group:
+                self.stats.echo_packets += 1
+                # an echo round trip on the LAN; the response reflects the
+                # host's state when the packet arrives, and may be lost
+                responded = host.is_up()
+                if responded and self.echo_loss_prob > 0.0:
+                    if float(rng.uniform()) < self.echo_loss_prob:
+                        responded = False  # packet lost, host fine
+                believed = self._believed_up[host.name]
+                if not responded:
+                    self._missed[host.name] += 1
+                else:
+                    self._missed[host.name] = 0
+                if believed and self._missed[host.name] >= self.suspicion_threshold:
+                    self._believed_up[host.name] = False
+                    if host.is_up():
+                        self.false_positives += 1
+                    self.stats.failure_notifications += 1
+                    self.stats.record_detection(self.sim.now, host.name, "down")
+                    self.sim.call_after(
+                        self.lan_latency_s,
+                        lambda h=host.name: self.site_manager.receive_failure(h),
+                    )
+                elif not believed and responded:
+                    self._believed_up[host.name] = True
+                    self.stats.recovery_notifications += 1
+                    self.stats.record_detection(self.sim.now, host.name, "up")
+                    self.sim.call_after(
+                        self.lan_latency_s,
+                        lambda h=host.name: self.site_manager.receive_recovery(h),
+                    )
+
+    def believes_up(self, host_name: str) -> bool:
+        return self._believed_up[host_name]

@@ -1,0 +1,89 @@
+"""Monitor daemons — one per VDCE resource (paper §4.1, Fig. 4).
+
+"The Monitor daemon periodically measures the up-to-date resource
+parameters, i.e., CPU load and memory availability and sends the values
+to the Group Manager."
+
+A monitor is attached to exactly one host; it reads the host's ground
+truth (run-queue length, available memory) every ``period_s`` and sends
+a measurement message to its Group Manager.  Delivery rides the site
+LAN (latency charged); measurements from a down host simply stop, which
+is what the Group Manager's echo protocol exists to notice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.host import Host
+from repro.sim.kernel import Process, Simulator, Timeout
+from repro.runtime.stats import RuntimeStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.group_manager import GroupManager
+
+__all__ = ["MonitorDaemon", "Measurement"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One workload report."""
+
+    host: str
+    load: float
+    available_memory_mb: int
+    measured_at: float
+
+
+class MonitorDaemon:
+    """Periodic load/memory reporter for one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        group_manager: "GroupManager",
+        stats: RuntimeStats,
+        period_s: float = 2.0,
+        lan_latency_s: float = 0.0005,
+    ):
+        if period_s <= 0:
+            raise ValueError("monitor period must be positive")
+        self.sim = sim
+        self.host = host
+        self.group_manager = group_manager
+        self.stats = stats
+        self.period_s = float(period_s)
+        self.lan_latency_s = float(lan_latency_s)
+        self._process: Optional[Process] = None
+
+    def start(self) -> Process:
+        if self._process is not None and self._process.alive:
+            raise RuntimeError(f"monitor for {self.host.name} already running")
+        self._process = self.sim.process(
+            self._run(), name=f"monitor:{self.host.name}"
+        )
+        return self._process
+
+    def measure(self) -> Measurement:
+        """Take one measurement of the host's current state."""
+        return Measurement(
+            host=self.host.name,
+            load=self.host.load_average(),
+            available_memory_mb=self.host.available_memory_mb(),
+            measured_at=self.sim.now,
+        )
+
+    def _run(self):
+        while True:
+            if self.host.is_up():
+                measurement = self.measure()
+                self.stats.monitor_reports += 1
+                # delivery after LAN latency; a monitor on a host that
+                # dies in flight still delivers (packet already sent)
+                self.sim.call_after(
+                    self.lan_latency_s,
+                    lambda m=measurement: self.group_manager.receive_measurement(m),
+                )
+            yield Timeout(self.period_s)

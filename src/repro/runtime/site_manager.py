@@ -1,0 +1,220 @@
+"""Site Managers — the VDCE Server software at each site (paper §§1, 4.1).
+
+The Site Manager is the hub of Figure 4:
+
+1. retrieving the resource performance parameters,
+2. monitoring the VDCE resources (via Group Managers),
+3. updating the site repository — both the resource-performance DB
+   (workload + failure state) and, after an application completes, the
+   task-performance DB with measured execution times,
+4. sending the related portion of the resource allocation table to the
+   Group Managers involved in an execution,
+5. inter-site coordination (scheduler multicast and bid replies).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.repository.store import SiteRepository
+from repro.runtime.monitor import Measurement
+from repro.runtime.stats import RuntimeStats
+from repro.scheduler.allocation import AllocationTable
+from repro.scheduler.host_selection import HostSelectionResult, select_hosts
+from repro.scheduler.prediction import PredictionModel
+from repro.sim.kernel import Signal, Simulator
+from repro.sim.site import Site
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.app_controller import AppController
+    from repro.runtime.group_manager import GroupManager
+
+__all__ = ["SiteManager"]
+
+
+class SiteManager:
+    """Per-site control hub bridging runtime components to the repository."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site: Site,
+        repository: SiteRepository,
+        stats: RuntimeStats,
+        lan_latency_s: float = 0.0005,
+    ):
+        self.sim = sim
+        self.site = site
+        self.repository = repository
+        self.stats = stats
+        self.lan_latency_s = float(lan_latency_s)
+        self.group_managers: Dict[str, "GroupManager"] = {}
+        self.app_controllers: Dict[str, "AppController"] = {}
+        #: peers for inter-site coordination, filled by VDCERuntime
+        self.peers: Dict[str, "SiteManager"] = {}
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_group_manager(self, gm: "GroupManager") -> None:
+        self.group_managers[gm.name] = gm
+
+    def attach_app_controller(self, controller: "AppController") -> None:
+        self.app_controllers[controller.host.name] = controller
+
+    # -- monitoring inputs (Fig. 4 flows 2-3) -----------------------------------
+
+    def receive_workload(self, measurement: Measurement) -> None:
+        """Fold a forwarded measurement into the resource-performance DB."""
+        self.repository.resources.update_workload(
+            measurement.host,
+            load=measurement.load,
+            available_memory_mb=measurement.available_memory_mb,
+            time=self.sim.now,
+        )
+
+    def receive_failure(self, host_name: str) -> None:
+        """Mark the host "down" at the site's resource-performance DB."""
+        self.repository.resources.mark_down(host_name, time=self.sim.now)
+
+    def receive_recovery(self, host_name: str) -> None:
+        self.repository.resources.mark_up(host_name, time=self.sim.now)
+
+    # -- allocation distribution (Fig. 4 flow 4) ----------------------------------
+
+    def distribute_allocation(
+        self, table: AllocationTable, afg: ApplicationFlowGraph
+    ) -> Signal:
+        """Multicast this site's portion of the table toward its hosts.
+
+        "Another function of the Site Manager is to multicast the
+        resource allocation table to the Group Managers that will be
+        involved in the execution.  Each Group Manager sends an
+        execution request message and the related portion of the
+        resource allocation information to the Application Controller
+        of the related machines."
+
+        Returns a signal that fires when every involved Application
+        Controller has received its execution request.
+        """
+        my_tasks = table.tasks_on_site(self.name)
+        hosts_involved: List[str] = sorted(
+            {h for t in my_tasks for h in table.hosts_of(t)}
+        )
+        done = self.sim.signal(f"alloc:{self.name}:{table.application}")
+        if not hosts_involved:
+            self.sim.call_at(self.sim.now, lambda: done.succeed([]))
+            return done
+
+        groups_involved = sorted(
+            {self.site.group_of(h).name for h in hosts_involved}
+        )
+        # Site Manager -> each Group Manager (one message per group) ...
+        self.stats.allocation_messages += len(groups_involved)
+        # ... then Group Manager -> each Application Controller
+        pending = [len(hosts_involved)]
+
+        def deliver_to_controller(host_name: str) -> None:
+            self.stats.execution_requests += 1
+            controller = self.app_controllers[host_name]
+            controller.receive_execution_request(table.application)
+            pending[0] -= 1
+            if pending[0] == 0:
+                done.succeed(hosts_involved)
+
+        for host_name in hosts_involved:
+            # two LAN hops: SM -> GM -> AC
+            self.sim.call_after(
+                2 * self.lan_latency_s,
+                lambda h=host_name: deliver_to_controller(h),
+            )
+        return done
+
+    # -- post-execution refinement (paper §4.1) -------------------------------------
+
+    def record_completed_execution(
+        self, task_type: str, host: str, expected_s: float, measured_s: float
+    ) -> None:
+        """Update the task-performance DB after an application completes."""
+        self.repository.task_perf.record_execution(
+            task_type, host, expected_s=expected_s, measured_s=measured_s
+        )
+        self.stats.taskperf_updates += 1
+
+    # -- inter-site coordination (scheduler support) ----------------------------------
+
+    def handle_scheduling_request(
+        self,
+        afg: ApplicationFlowGraph,
+        model: Optional[PredictionModel] = None,
+    ) -> Dict[str, HostSelectionResult]:
+        """Run host selection on a multicast AFG (the remote-site role).
+
+        Called by a peer Site Manager; the caller charges WAN latency
+        and counts the messages.
+        """
+        return select_hosts(afg, self.repository, model)
+
+    # -- rescheduling support --------------------------------------------------------
+
+    def reselect_host(
+        self,
+        afg: ApplicationFlowGraph,
+        task_id: str,
+        exclude_hosts: frozenset,
+        model: Optional[PredictionModel] = None,
+    ) -> Optional[HostSelectionResult]:
+        """Pick a replacement placement for one task at this site.
+
+        Used by the Application Controller's rescheduling path; returns
+        None when this site has no feasible alternative.
+        """
+        single = ApplicationFlowGraph(f"resched:{task_id}")
+        node = afg.task(task_id)
+        single.add_task(node)
+        bids = select_hosts(single, self.repository, model)
+        bid = bids.get(task_id)
+        if bid is None:
+            return None
+        if set(bid.hosts) & exclude_hosts:
+            # re-run with the excluded hosts masked out of the DB view:
+            # cheapest correct approach is to filter candidates manually
+            from repro.scheduler.host_selection import candidate_hosts
+
+            model = model or PredictionModel()
+            props = node.properties
+            n_nodes = props.n_nodes if props.is_parallel else 1
+            records = [
+                r
+                for r in candidate_hosts(node, self.repository)
+                if r.name not in exclude_hosts
+            ]
+            if len(records) < n_nodes:
+                return None
+            memory_mb = props.memory_mb if props.memory_mb > 0 else None
+            predictions = sorted(
+                (
+                    model.predict(
+                        node.task_type,
+                        props.workload_scale,
+                        n_nodes,
+                        r,
+                        self.repository.task_perf,
+                        memory_mb=memory_mb,
+                    ),
+                    r.name,
+                )
+                for r in records
+            )
+            chosen = predictions[:n_nodes]
+            return HostSelectionResult(
+                task_id=task_id,
+                site=self.name,
+                hosts=tuple(n for _, n in chosen),
+                predicted_time=chosen[-1][0],
+            )
+        return bid

@@ -1,0 +1,97 @@
+"""Runtime message/event counters, shared across one deployment.
+
+Experiments E5-E8 are statements about these counters (monitoring
+message volume, failure-detection latency, rescheduling events, channel
+setup counts), so they are first-class rather than scattered ad-hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["RuntimeStats"]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters for every message class the paper's runtime exchanges."""
+
+    #: Monitor daemon -> Group Manager workload measurements
+    monitor_reports: int = 0
+    #: Group Manager -> Site Manager forwarded (significant) measurements
+    workload_forwards: int = 0
+    #: measurements suppressed by the significant-change filter
+    workload_suppressed: int = 0
+    #: echo packets sent by Group Managers
+    echo_packets: int = 0
+    #: failure notifications Group Manager -> Site Manager
+    failure_notifications: int = 0
+    #: recovery notifications Group Manager -> Site Manager
+    recovery_notifications: int = 0
+    #: allocation-table portions multicast by Site Managers
+    allocation_messages: int = 0
+    #: execution requests Group Manager -> Application Controller
+    execution_requests: int = 0
+    #: Data Manager channel setups
+    channel_setups: int = 0
+    #: channel acknowledgements received
+    channel_acks: int = 0
+    #: execution startup signals sent
+    startup_signals: int = 0
+    #: inter-task data transfers performed
+    data_transfers: int = 0
+    #: MB moved by inter-task transfers
+    data_transferred_mb: float = 0.0
+    #: task rescheduling requests (load threshold or failure)
+    reschedule_requests: int = 0
+    #: tasks restarted after a host failure
+    failure_restarts: int = 0
+    #: inter-site scheduler messages (AFG multicast + bid replies)
+    scheduler_messages: int = 0
+    #: task-performance DB refinements recorded after completion
+    taskperf_updates: int = 0
+    #: (virtual time, host, event) failure-detection log for E6
+    detection_log: List[Tuple[float, str, str]] = field(default_factory=list)
+
+    def record_detection(self, time: float, host: str, event: str) -> None:
+        self.detection_log.append((time, host, event))
+
+    def total_control_messages(self) -> int:
+        """Everything except payload data transfers."""
+        return (
+            self.monitor_reports
+            + self.workload_forwards
+            + self.echo_packets
+            + self.failure_notifications
+            + self.recovery_notifications
+            + self.allocation_messages
+            + self.execution_requests
+            + self.channel_setups
+            + self.channel_acks
+            + self.startup_signals
+            + self.reschedule_requests
+            + self.scheduler_messages
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "monitor_reports": self.monitor_reports,
+            "workload_forwards": self.workload_forwards,
+            "workload_suppressed": self.workload_suppressed,
+            "echo_packets": self.echo_packets,
+            "failure_notifications": self.failure_notifications,
+            "recovery_notifications": self.recovery_notifications,
+            "allocation_messages": self.allocation_messages,
+            "execution_requests": self.execution_requests,
+            "channel_setups": self.channel_setups,
+            "channel_acks": self.channel_acks,
+            "startup_signals": self.startup_signals,
+            "data_transfers": self.data_transfers,
+            "data_transferred_mb": self.data_transferred_mb,
+            "reschedule_requests": self.reschedule_requests,
+            "failure_restarts": self.failure_restarts,
+            "scheduler_messages": self.scheduler_messages,
+            "taskperf_updates": self.taskperf_updates,
+            "total_control_messages": self.total_control_messages(),
+        }

@@ -1,0 +1,285 @@
+"""VDCERuntime: one whole VDCE deployment, wired and running.
+
+Composes, for a given :class:`~repro.sim.topology.Topology`:
+
+* a :class:`~repro.repository.store.SiteRepository` per site
+  (bootstrapped if not supplied),
+* a :class:`~repro.runtime.site_manager.SiteManager` per site, with a
+  :class:`~repro.runtime.group_manager.GroupManager` per group, a
+  :class:`~repro.runtime.monitor.MonitorDaemon` and an
+  :class:`~repro.runtime.app_controller.AppController` per host,
+* the shared services (I/O, console) and statistics.
+
+It also provides the *distributed scheduling* wrapper of paper §3: the
+pure :class:`~repro.scheduler.site_scheduler.SiteScheduler` already
+computes placements; :meth:`schedule_process` reproduces the message
+exchange around it (AFG multicast to the k nearest sites, bid replies)
+as real simulated transfers, so scheduling overhead is measurable
+(experiment E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.serialize import afg_to_json
+from repro.repository.store import SiteRepository
+from repro.runtime.app_controller import AppController
+from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
+from repro.runtime.group_manager import GroupManager
+from repro.runtime.monitor import MonitorDaemon
+from repro.runtime.services import ConsoleService, IOService
+from repro.runtime.site_manager import SiteManager
+from repro.runtime.stats import RuntimeStats
+from repro.scheduler.allocation import AllocationTable
+from repro.scheduler.federation import FederationView
+from repro.scheduler.prediction import PredictionModel
+from repro.scheduler.site_scheduler import SiteScheduler
+from repro.sim.kernel import AllOf, Simulator, Timeout
+from repro.sim.topology import Topology
+from repro.tasklib.registry import TaskRegistry, default_registry
+
+__all__ = ["RuntimeConfig", "VDCERuntime"]
+
+#: approximate wire size of a serialised AFG task entry, MB
+_AFG_BYTES_PER_TASK_MB = 0.0005
+#: approximate wire size of one host-selection bid, MB
+_BID_BYTES_MB = 0.0002
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Deployment-wide runtime parameters (the paper's tunables)."""
+
+    #: Monitor daemon measurement period (paper: "periodically measures")
+    monitor_period_s: float = 2.0
+    #: Group Manager significant-change threshold on run-queue length
+    change_threshold: float = 0.25
+    #: Group Manager echo-packet period
+    echo_period_s: float = 5.0
+    #: probability that a single echo round trip is lost (lossy LAN)
+    echo_loss_prob: float = 0.0
+    #: consecutive missed echoes before a host is declared down
+    suspicion_threshold: int = 1
+    #: Application Controller load threshold for task rescheduling
+    load_threshold: float = 4.0
+    #: Application Controller check period
+    check_period_s: float = 2.0
+    #: run task implementations for real (False = shape-only execution)
+    execute_payloads: bool = True
+
+    def __post_init__(self) -> None:
+        if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
+            raise ValueError("periods must be positive")
+        if self.change_threshold < 0:
+            raise ValueError("change_threshold must be non-negative")
+        if not (0.0 <= self.echo_loss_prob < 1.0):
+            raise ValueError("echo_loss_prob must be in [0, 1)")
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        if self.load_threshold <= 0 or self.check_period_s <= 0:
+            raise ValueError("load_threshold/check_period_s must be positive")
+
+
+class VDCERuntime:
+    """All control- and data-plane components of one deployment."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        repositories: Optional[Mapping[str, SiteRepository]] = None,
+        registry: Optional[TaskRegistry] = None,
+        config: RuntimeConfig = RuntimeConfig(),
+        model: Optional[PredictionModel] = None,
+        default_site: Optional[str] = None,
+    ):
+        self.topology = topology
+        self.sim: Simulator = topology.sim
+        self.registry = registry or default_registry()
+        self.config = config
+        self.model = model or PredictionModel()
+        self.stats = RuntimeStats()
+        self.default_site = default_site or topology.site_names[0]
+
+        if repositories is None:
+            repositories = {
+                name: SiteRepository.bootstrap(site, self.registry)
+                for name, site in topology.sites.items()
+            }
+        self.repositories: Dict[str, SiteRepository] = dict(repositories)
+
+        self.site_managers: Dict[str, SiteManager] = {}
+        self.group_managers: Dict[str, GroupManager] = {}
+        self.monitors: Dict[str, MonitorDaemon] = {}
+        self.app_controllers: Dict[str, AppController] = {}
+
+        for site_name, site in topology.sites.items():
+            lan_latency = topology.network.lan_link(site_name).spec.latency_s
+            manager = SiteManager(
+                self.sim, site, self.repositories[site_name], self.stats,
+                lan_latency_s=lan_latency,
+            )
+            self.site_managers[site_name] = manager
+            for group in site.groups.values():
+                gm = GroupManager(
+                    self.sim, group, manager, self.stats,
+                    change_threshold=config.change_threshold,
+                    echo_period_s=config.echo_period_s,
+                    lan_latency_s=lan_latency,
+                    echo_loss_prob=config.echo_loss_prob,
+                    suspicion_threshold=config.suspicion_threshold,
+                )
+                manager.attach_group_manager(gm)
+                self.group_managers[gm.name] = gm
+                for host in group:
+                    self.monitors[host.name] = MonitorDaemon(
+                        self.sim, host, gm, self.stats,
+                        period_s=config.monitor_period_s,
+                        lan_latency_s=lan_latency,
+                    )
+                    controller = AppController(
+                        self.sim, host, self.stats,
+                        load_threshold=config.load_threshold,
+                        check_period_s=config.check_period_s,
+                    )
+                    manager.attach_app_controller(controller)
+                    self.app_controllers[host.name] = controller
+
+        for manager in self.site_managers.values():
+            manager.peers = dict(self.site_managers)
+
+        self.io_service = IOService(self.sim, topology.network, self.stats)
+        self.console = ConsoleService(self.sim)
+        self._monitoring_started = False
+
+    # -- control plane ------------------------------------------------------
+
+    def start_monitoring(self) -> None:
+        """Start every Monitor daemon and Group Manager echo loop."""
+        if self._monitoring_started:
+            raise RuntimeError("monitoring already started")
+        self._monitoring_started = True
+        for monitor in self.monitors.values():
+            monitor.start()
+        for gm in self.group_managers.values():
+            gm.start_echo()
+
+    def neighbor_order(self, site_name: str) -> List[str]:
+        return self.topology.neighbor_sites(site_name)
+
+    def federation_view(self, local_site: Optional[str] = None) -> FederationView:
+        return FederationView.from_topology(
+            self.topology, self.repositories, local_site or self.default_site
+        )
+
+    # -- distributed scheduling (messages + pure placement) -----------------------
+
+    def schedule_process(
+        self,
+        afg: ApplicationFlowGraph,
+        scheduler: Optional[SiteScheduler] = None,
+        local_site: Optional[str] = None,
+    ):
+        """Generator process: distributed scheduling with real messages.
+
+        Returns ``(table, scheduling_time_s)``.  Reproduces Fig. 2
+        steps 2-5 as traffic: the AFG multicast to the k nearest
+        neighbour sites rides the WAN (size proportional to the graph),
+        and each site's bids ride back.
+        """
+        scheduler = scheduler or SiteScheduler(k=2, model=self.model)
+        local_site = local_site or self.default_site
+        started = self.sim.now
+        view = self.federation_view(local_site)
+        remotes = view.remote_sites(scheduler.k)
+
+        afg_mb = max(_AFG_BYTES_PER_TASK_MB * len(afg), _AFG_BYTES_PER_TASK_MB)
+        local_server = self.topology.site(local_site).server_host.name
+
+        def exchange(remote: str):
+            remote_server = self.topology.site(remote).server_host.name
+            # step 3: multicast the AFG
+            self.stats.scheduler_messages += 1
+            t1 = self.topology.network.transfer(
+                local_server, remote_server, afg_mb, label=f"afg->{remote}"
+            )
+            yield t1.done
+            # step 4 at the remote site: host selection over its repository
+            bids = self.site_managers[remote].handle_scheduling_request(
+                afg, scheduler.model
+            )
+            # step 5: bids ride back
+            self.stats.scheduler_messages += 1
+            t2 = self.topology.network.transfer(
+                remote_server, local_server, _BID_BYTES_MB * max(1, len(bids)),
+                label=f"bids<-{remote}",
+            )
+            yield t2.done
+
+        procs = [
+            self.sim.process(exchange(r), name=f"sched-xchg:{r}") for r in remotes
+        ]
+        if procs:
+            yield AllOf(procs)
+
+        # placement itself (pure); its wall cost is negligible vs messages
+        table = scheduler.schedule(afg, view)
+        return table, self.sim.now - started
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute_process(
+        self,
+        afg: ApplicationFlowGraph,
+        table: AllocationTable,
+        submit_site: Optional[str] = None,
+        execute_payloads: Optional[bool] = None,
+    ):
+        """Spawn the execution coordinator; process value = ApplicationResult."""
+        coordinator = ExecutionCoordinator(
+            self,
+            afg,
+            table,
+            execute_payloads=(
+                self.config.execute_payloads
+                if execute_payloads is None
+                else execute_payloads
+            ),
+            submit_site=submit_site or self.default_site,
+        )
+        return coordinator.start()
+
+    def submit(
+        self,
+        afg: ApplicationFlowGraph,
+        scheduler: Optional[SiteScheduler] = None,
+        submit_site: Optional[str] = None,
+        user: Optional[str] = None,
+        password: Optional[str] = None,
+        execute_payloads: Optional[bool] = None,
+        limit: Optional[float] = None,
+    ) -> ApplicationResult:
+        """Convenience one-shot: authenticate, schedule, execute, return.
+
+        Drives the simulator until the application completes.  When
+        credentials are given they are checked against the submitting
+        site's user-accounts database (paper §2: "After user
+        authentication, the Application Editor is loaded ...").
+        """
+        site = submit_site or self.default_site
+        if user is not None:
+            self.repositories[site].users.authenticate(user, password or "")
+
+        def pipeline():
+            table, _sched_time = yield from self.schedule_process(
+                afg, scheduler, local_site=site
+            )
+            result = yield self.execute_process(
+                afg, table, submit_site=site, execute_payloads=execute_payloads
+            )
+            return result
+
+        proc = self.sim.process(pipeline(), name=f"submit:{afg.name}")
+        return self.sim.run_until_complete(proc, limit=limit)

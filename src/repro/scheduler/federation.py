@@ -1,0 +1,98 @@
+"""FederationView: what a scheduler is allowed to see.
+
+The paper's scheduler reads exactly three things: the site repositories
+(its own plus those of the k nearest remote sites, reached via the AFG
+multicast), the network attributes between sites, and the AFG itself.
+This class packages the first two so schedulers stay pure functions —
+the runtime layer is responsible for the message passing that, on the
+real system, moves this information around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+#: (site_a, site_b, size_mb) -> seconds
+TransferEstimator = Callable[[str, str, float], float]
+
+from repro.repository.store import SiteRepository
+from repro.sim.topology import Topology
+
+__all__ = ["FederationView"]
+
+
+@dataclass
+class FederationView:
+    """Read-only federation snapshot for one scheduling decision.
+
+    ``neighbor_order`` lists remote sites from nearest to farthest (the
+    paper's "k nearest VDCE neighbor sites" are its first k entries).
+    ``site_transfer_time(site_a, site_b, size_mb)`` estimates inter-site
+    transfer times from the repository's network attributes.
+    """
+
+    local_site: str
+    repositories: Dict[str, SiteRepository]
+    neighbor_order: List[str]
+    site_transfer_time: TransferEstimator
+
+    def __post_init__(self) -> None:
+        if self.local_site not in self.repositories:
+            raise ValueError(
+                f"local site {self.local_site!r} has no repository"
+            )
+        for name in self.neighbor_order:
+            if name not in self.repositories:
+                raise ValueError(f"neighbor {name!r} has no repository")
+            if name == self.local_site:
+                raise ValueError("local site cannot be its own neighbor")
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_topology(
+        cls,
+        topology: Topology,
+        repositories: Mapping[str, SiteRepository],
+        local_site: str,
+    ) -> "FederationView":
+        """Build a view over a simulated deployment."""
+        missing = [s for s in topology.site_names if s not in repositories]
+        if missing:
+            raise ValueError(f"sites without repositories: {missing}")
+        return cls(
+            local_site=local_site,
+            repositories=dict(repositories),
+            neighbor_order=topology.neighbor_sites(local_site),
+            site_transfer_time=topology.network.site_transfer_time_estimate,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def local_repository(self) -> SiteRepository:
+        return self.repositories[self.local_site]
+
+    def repository(self, site: str) -> SiteRepository:
+        try:
+            return self.repositories[site]
+        except KeyError:
+            raise KeyError(f"no repository for site {site!r}") from None
+
+    def remote_sites(self, k: Optional[int] = None) -> List[str]:
+        """The k nearest remote sites (Fig. 2 step 2); all if k is None."""
+        if k is None:
+            return list(self.neighbor_order)
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.neighbor_order[:k]
+
+    def participating_sites(self, k: Optional[int] = None) -> List[str]:
+        """Local site + the selected remote sites, local first."""
+        return [self.local_site] + self.remote_sites(k)
+
+    def site_of_host(self, host_name: str) -> str:
+        for site, repo in self.repositories.items():
+            if repo.resources.has_host(host_name):
+                return site
+        raise KeyError(f"host {host_name!r} not found in any repository")

@@ -1,0 +1,225 @@
+"""The Host Selection Algorithm — paper Figure 3, step for step.
+
+    1. Retrieve task-specific parameters of AFG tasks from the
+       task-performance database.
+    2. Retrieve resource-specific parameters of a set of resources,
+       Rset = {R1, R2, ..., Rm}, from the resource-performance database.
+    3. Set task-queue = {task_i | task_i in AFG}.
+    4. For each task_i in task-queue:
+         - Evaluate the performance prediction time of task_i,
+           Predict(task_i, Rj), for all Rj in Rset.
+         - Assign task_i to Rj, which minimizes the performance
+           prediction time Predict(task_i, Rj).
+
+Each site runs this independently on the multicast AFG and reports
+"the mapping information of each task, i.e., machine name and predicted
+execution time, to the local site" — that report is the
+:class:`HostSelectionResult` returned here.
+
+The paper's parallel-task extension ("the host selection algorithm is
+updated to select the number of machines required within the site") is
+implemented by choosing the ``n_nodes`` hosts with the smallest
+predicted slice times; the bid's time is the slowest chosen slice.
+
+**One documented deviation (schedule-aware load accounting).**  Read
+literally, step 4 predicts every task against the *same* repository
+load values, so all comparable tasks collapse onto the single
+fastest host — for a bag of independent tasks this is catastrophically
+worse than random placement, which cannot be the algorithm behind a
+scheduler whose stated objective is "to minimize the schedule length".
+The refs the paper builds on ([2, 4], and the federated model of [5])
+all account for the processor's committed work.  We therefore walk the
+task queue in level-priority order and, when predicting ``task_i`` on
+host ``R``, add one run-queue entry for every task *already assigned to
+``R`` in this round that can execute concurrently with ``task_i``*
+(i.e. is neither its ancestor nor descendant in the AFG).  Chains keep
+preferring the fastest host (their stages never overlap); independent
+bags spread.  DESIGN.md §5 records this as the reproduction's only
+algorithmic interpolation.
+
+Candidate filtering honours, in order: host up-status, the
+task-constraints database (executable present), the user's preferred
+machine, and the preferred machine type (matched against the host's
+``arch``/``os`` attributes).  A task with no feasible candidate at this
+site (including tasks absent from the site's task-performance DB) is
+simply absent from the result — the site declines to bid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.task import TaskNode
+from repro.repository.resources import HostRecord
+from repro.repository.store import SiteRepository
+from repro.scheduler.prediction import PredictionModel
+
+__all__ = ["HostSelectionResult", "bid_for_task", "candidate_hosts", "select_hosts"]
+
+
+@dataclass(frozen=True)
+class HostSelectionResult:
+    """One site's bid for one task: machine name(s) + predicted time."""
+
+    task_id: str
+    site: str
+    hosts: Tuple[str, ...]
+    predicted_time: float
+
+    @property
+    def primary_host(self) -> str:
+        return self.hosts[0]
+
+
+def _matches_machine_type(record: HostRecord, machine_type: str) -> bool:
+    """Case-insensitive match against the host's arch/OS attributes.
+
+    Figure 1 writes types like ``<SUN solaris>``; we accept any
+    whitespace-separated tokens all matching the host's arch or OS.
+    """
+    tokens = machine_type.lower().split()
+    attrs = {record.spec.arch.lower(), record.spec.os.lower()}
+    # vendor aliases seen in the paper's examples ("SUN solaris")
+    aliases = {"sun": "sparc"}
+    normalized = {aliases.get(t, t) for t in tokens}
+    return normalized <= attrs
+
+
+def candidate_hosts(task: TaskNode, repo: SiteRepository) -> List[HostRecord]:
+    """Feasible hosts for ``task`` at this site, in stable name order."""
+    records = repo.runnable_up_hosts(task.task_type)
+    props = task.properties
+    if props.preferred_machine is not None:
+        records = [r for r in records if r.name == props.preferred_machine]
+    if props.preferred_machine_type is not None:
+        records = [
+            r for r in records if _matches_machine_type(r, props.preferred_machine_type)
+        ]
+    return sorted(records, key=lambda r: r.name)
+
+
+def _reachability(afg: ApplicationFlowGraph) -> Dict[str, Set[str]]:
+    """task -> set of tasks ordered with it (ancestors + descendants)."""
+    order = afg.topological_order()
+    ancestors: Dict[str, Set[str]] = {}
+    for task_id in order:
+        acc: Set[str] = set()
+        for parent in afg.parents(task_id):
+            acc.add(parent)
+            acc |= ancestors[parent]
+        ancestors[task_id] = acc
+    related: Dict[str, Set[str]] = {t: set(ancestors[t]) for t in order}
+    for task_id in order:
+        for ancestor in ancestors[task_id]:
+            related[ancestor].add(task_id)
+    return related
+
+
+def bid_for_task(
+    task: TaskNode,
+    repo: SiteRepository,
+    model: PredictionModel,
+    extra_load_of,
+) -> Optional[HostSelectionResult]:
+    """Figure 3's inner step for one task at one site.
+
+    Evaluates ``Predict(task, Rj)`` over every feasible host (with the
+    caller-supplied in-round load ``extra_load_of(host_name)`` added)
+    and returns the minimising host group, or ``None`` when the site
+    cannot run the task (no feasible hosts, task unknown to its DBs).
+    """
+    props = task.properties
+    candidates = candidate_hosts(task, repo)
+    n_nodes = props.n_nodes if props.is_parallel else 1
+    if len(candidates) < n_nodes:
+        return None
+    if not repo.task_perf.has(task.task_type):
+        return None
+    memory_mb = props.memory_mb if props.memory_mb > 0 else None
+    predictions = sorted(
+        (
+            model.predict(
+                task.task_type,
+                props.workload_scale,
+                n_nodes,
+                record,
+                repo.task_perf,
+                memory_mb=memory_mb,
+                extra_load=float(extra_load_of(record.name)),
+            ),
+            record.name,
+        )
+        for record in candidates
+    )
+    chosen = predictions[:n_nodes]
+    return HostSelectionResult(
+        task_id=task.id,
+        site=repo.site_name,
+        hosts=tuple(name for _, name in chosen),
+        # parallel slices run concurrently; the group finishes with its
+        # slowest member (the largest selected prediction)
+        predicted_time=chosen[-1][0],
+    )
+
+
+def select_hosts(
+    afg: ApplicationFlowGraph,
+    repo: SiteRepository,
+    model: Optional[PredictionModel] = None,
+    order: Optional[List[str]] = None,
+) -> Dict[str, HostSelectionResult]:
+    """Run Figure 3 at one site; return this site's bids, keyed by task id.
+
+    ``order`` overrides the queue order (default: level priority); the
+    E9 ablation passes a FIFO/topological order here.
+    """
+    model = model or PredictionModel()
+    results: Dict[str, HostSelectionResult] = {}
+
+    # Step 3: every AFG task goes in the queue.  The queue is walked in
+    # level-priority order (§3: levels are computed before scheduling);
+    # tasks whose type the site's task-performance DB lacks cost 0 for
+    # ordering purposes and will produce no bid below.
+    def base_cost(task_id: str) -> float:
+        node = afg.task(task_id)
+        try:
+            return repo.task_perf.base_cost(
+                node.task_type, node.properties.workload_scale
+            )
+        except KeyError:
+            return 0.0
+
+    if order is None:
+        from repro.afg.levels import compute_levels
+
+        levels = compute_levels(afg, base_cost)
+        queue = sorted(levels, key=lambda t: (-levels[t], t))
+    else:
+        if sorted(order) != sorted(t.id for t in afg):
+            raise ValueError("order must be a permutation of the AFG's tasks")
+        queue = list(order)
+
+    related = _reachability(afg)
+    #: in-round commitments: host -> task ids assigned there
+    committed: Dict[str, List[str]] = {}
+
+    for task_id in queue:
+        task = afg.task(task_id)
+
+        def concurrent_commitments(host_name: str, task_id=task_id) -> float:
+            others = committed.get(host_name, ())
+            return float(
+                sum(1 for other in others if other not in related[task_id])
+            )
+
+        # Step 4: Predict(task, Rj) for every feasible Rj, with the
+        # in-round load of concurrent commitments added.
+        bid = bid_for_task(task, repo, model, concurrent_commitments)
+        if bid is None:
+            continue  # site cannot run this task; no bid
+        for host_name in bid.hosts:
+            committed.setdefault(host_name, []).append(task_id)
+        results[task.id] = bid
+    return results

@@ -1,0 +1,74 @@
+"""Discrete-event simulation substrate for VDCE.
+
+The paper's prototype ran on a campus network of workstations.  This
+package replaces that testbed with a deterministic, virtual-time
+discrete-event simulation: a :class:`~repro.sim.kernel.Simulator` event
+kernel, generator-based processes, a resource model (hosts grouped into
+sites), a latency/bandwidth network model, background-workload
+generators, and failure injection.
+
+Everything the VDCE scheduler and runtime observe on the real testbed —
+execution times, transfer times, measured CPU loads, host failures — is
+produced by this substrate with controllable ground truth, so every
+experiment in EXPERIMENTS.md is exactly reproducible from a seed.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.host import Host, HostSpec, HostState, TaskExecution
+from repro.sim.site import Group, Site, SiteSpec
+from repro.sim.network import Link, LinkSpec, Network, TransferModel
+from repro.sim.topology import Topology, TopologyBuilder, star_topology, two_site_topology
+from repro.sim.workload import (
+    ConstantLoad,
+    DiurnalLoad,
+    LoadGenerator,
+    OrnsteinUhlenbeckLoad,
+    RandomWalkLoad,
+    SpikeLoad,
+    TraceLoad,
+)
+from repro.sim.failures import FailureInjector, FailureEvent
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConstantLoad",
+    "DiurnalLoad",
+    "FailureEvent",
+    "FailureInjector",
+    "Group",
+    "Host",
+    "HostSpec",
+    "HostState",
+    "Interrupt",
+    "Link",
+    "LinkSpec",
+    "LoadGenerator",
+    "Network",
+    "OrnsteinUhlenbeckLoad",
+    "Process",
+    "RandomWalkLoad",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Site",
+    "SiteSpec",
+    "SpikeLoad",
+    "TaskExecution",
+    "Timeout",
+    "Topology",
+    "TopologyBuilder",
+    "TraceLoad",
+    "TransferModel",
+    "star_topology",
+    "two_site_topology",
+]

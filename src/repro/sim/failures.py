@@ -1,0 +1,117 @@
+"""Failure injection: hosts crash and (optionally) recover.
+
+Paper §4.1: "the Group Manager ... periodically check[s] all hosts in
+the group by sending echo packets ... When a failure of a host is
+detected, the Group Manager passes this information to the Site
+Manager.  The host is then marked as 'down' at the site's
+resource-performance database."
+
+This module provides the ground truth that machinery must detect:
+scheduled or stochastic crash/recover events on hosts.  Detection
+latency experiments (E6) compare the injection log against the
+runtime's repository updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.host import Host
+from repro.sim.kernel import Process, Simulator, Timeout
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Ground-truth record of one state change."""
+
+    time: float
+    host: str
+    kind: str  # "down" | "up"
+
+
+class FailureInjector:
+    """Schedules crash/recovery events against topology hosts.
+
+    Two modes:
+
+    * :meth:`schedule` — explicit ``(time, host, kind)`` scripts for
+      deterministic tests;
+    * :meth:`start_random` — exponential time-to-failure / time-to-repair
+      per host, for stochastic availability experiments.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.log: List[FailureEvent] = []
+
+    # -- scripted ------------------------------------------------------------
+
+    def schedule(self, host: Host, time: float, kind: str = "down") -> None:
+        if kind not in ("down", "up"):
+            raise ValueError(f"kind must be 'down' or 'up', got {kind!r}")
+
+        def fire() -> None:
+            if kind == "down":
+                host.fail()
+            else:
+                host.recover()
+            self.log.append(FailureEvent(self.sim.now, host.name, kind))
+
+        self.sim.call_at(time, fire)
+
+    def schedule_outage(self, host: Host, start: float, duration: float) -> None:
+        """Crash ``host`` at ``start`` and recover it ``duration`` later."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self.schedule(host, start, "down")
+        self.schedule(host, start + duration, "up")
+
+    # -- stochastic ------------------------------------------------------------
+
+    def start_random(
+        self,
+        host: Host,
+        mtbf_s: float,
+        mttr_s: float,
+    ) -> Process:
+        """Exponential failure/repair process for ``host``.
+
+        ``mtbf_s``: mean time between failures; ``mttr_s``: mean time to
+        repair.  Draws come from the stream ``fail:<host>`` so adding an
+        injector to one host never perturbs another host's fate.
+        """
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+
+        def run():
+            rng = self.sim.rng(f"fail:{host.name}")
+            while True:
+                yield Timeout(float(rng.exponential(mtbf_s)))
+                host.fail()
+                self.log.append(FailureEvent(self.sim.now, host.name, "down"))
+                yield Timeout(float(rng.exponential(mttr_s)))
+                host.recover()
+                self.log.append(FailureEvent(self.sim.now, host.name, "up"))
+
+        return self.sim.process(run(), name=f"failinj:{host.name}")
+
+    # -- queries --------------------------------------------------------------
+
+    def downtime_intervals(self, host_name: str) -> List[Tuple[float, Optional[float]]]:
+        """``(down_at, up_at)`` pairs for a host; ``up_at`` None if still down."""
+        intervals: List[Tuple[float, Optional[float]]] = []
+        down_at: Optional[float] = None
+        for event in self.log:
+            if event.host != host_name:
+                continue
+            if event.kind == "down" and down_at is None:
+                down_at = event.time
+            elif event.kind == "up" and down_at is not None:
+                intervals.append((down_at, event.time))
+                down_at = None
+        if down_at is not None:
+            intervals.append((down_at, None))
+        return intervals

@@ -1,0 +1,306 @@
+"""Simulated hosts: the machines a VDCE site is made of.
+
+A :class:`Host` is a processor-sharing CPU with a *speed* factor
+(relative to the paper's "base processor", whose timings populate the
+task-performance database), a background load expressed as a run-queue
+length (other users' runnable processes, as on the non-dedicated NOWs
+of Yan & Zhang [6]), finite memory, and an UP/DOWN failure state.
+
+Task executions carry *work* measured in base-processor seconds; a task
+with work ``w`` running alone on an idle host of speed ``s`` finishes in
+``w / s``.  With ``n`` VDCE tasks and background load ``b`` the host is
+a processor-sharing queue: each task progresses at rate
+``s / (n + b)``.  Memory oversubscription multiplies the rate by a
+thrashing penalty.  These are exactly the quantities the VDCE
+performance-prediction model (paper §3) reasons about, so prediction
+accuracy in experiments is a controlled variable, not an accident.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.kernel import Signal, SimulationError, Simulator
+
+__all__ = [
+    "Host",
+    "HostDownError",
+    "HostSpec",
+    "HostState",
+    "Interrupted",
+    "TaskExecution",
+]
+
+_exec_ids = itertools.count(1)
+
+#: progress below this rate is treated as stalled (host down / fully thrashed)
+_MIN_RATE = 1e-12
+
+
+class HostDownError(RuntimeError):
+    """Raised into executions whose host failed mid-run."""
+
+    def __init__(self, host_name: str):
+        super().__init__(f"host {host_name} went down")
+        self.host_name = host_name
+
+
+class HostState(enum.Enum):
+    UP = "up"
+    DOWN = "down"
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static attributes of a host, as stored in the resource-performance DB.
+
+    Mirrors the paper's resource attribute list: "host name, IP address,
+    architecture type, OS type, total memory size of the machine, recent
+    workload measurements, and available memory size" (§3).
+    """
+
+    name: str
+    speed: float = 1.0  # relative to the base processor
+    memory_mb: int = 256
+    arch: str = "sparc"
+    os: str = "solaris"
+    ip: str = "0.0.0.0"
+    #: rate multiplier applied while resident memory exceeds memory_mb
+    thrash_factor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"host {self.name!r}: speed must be positive")
+        if self.memory_mb <= 0:
+            raise ValueError(f"host {self.name!r}: memory_mb must be positive")
+        if not (0.0 < self.thrash_factor <= 1.0):
+            raise ValueError(f"host {self.name!r}: thrash_factor must be in (0, 1]")
+
+
+class TaskExecution:
+    """One task running (or queued to run) on a host.
+
+    ``done`` is a :class:`Signal` that succeeds with the execution when
+    the work completes, or fails with :class:`HostDownError` /
+    cancellation errors.  ``cpu_time`` accumulates virtual seconds of
+    wall time during which the execution was resident on the host.
+    """
+
+    def __init__(self, host: "Host", work: float, memory_mb: int, label: str = ""):
+        self.id = next(_exec_ids)
+        self.host = host
+        self.work = float(work)
+        self.remaining = float(work)
+        self.memory_mb = int(memory_mb)
+        self.label = label or f"exec-{self.id}"
+        self.started_at = host.sim.now
+        self.finished_at: Optional[float] = None
+        self.done: Signal = host.sim.signal(f"{host.spec.name}:{self.label}:done")
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.host.sim.now
+        return end - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskExecution({self.label!r} on {self.host.spec.name!r}, "
+            f"remaining={self.remaining:.3f}/{self.work:.3f})"
+        )
+
+
+class Host:
+    """A simulated machine with processor-sharing execution semantics."""
+
+    def __init__(self, sim: Simulator, spec: HostSpec, site_name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.site_name = site_name
+        self.state = HostState.UP
+        self.bg_load: float = 0.0
+        self._running: list[TaskExecution] = []
+        self._last_settle = sim.now
+        self._completion_call = None
+        #: counters for experiments
+        self.completed_count = 0
+        self.failed_count = 0
+        self.busy_time = 0.0
+
+    # -- observable metrics (what the Monitor daemon measures) -----------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def load_average(self) -> float:
+        """Run-queue length: background load + resident VDCE tasks.
+
+        This is the "recent workload measurement" the Monitor daemon
+        periodically reports upward (paper §4.1).
+        """
+        return self.bg_load + len(self._running)
+
+    def available_memory_mb(self) -> int:
+        used = sum(e.memory_mb for e in self._running)
+        return max(0, self.spec.memory_mb - used)
+
+    def is_up(self) -> bool:
+        return self.state == HostState.UP
+
+    # -- execution ---------------------------------------------------------
+
+    def per_task_rate(self) -> float:
+        """Work units per virtual second delivered to each resident task."""
+        if self.state is HostState.DOWN or not self._running:
+            return 0.0
+        rate = self.spec.speed / (self.bg_load + len(self._running))
+        used = sum(e.memory_mb for e in self._running)
+        if used > self.spec.memory_mb:
+            rate *= self.spec.thrash_factor
+        return rate
+
+    def execute(self, work: float, memory_mb: int = 0, label: str = "") -> TaskExecution:
+        """Begin executing ``work`` base-processor seconds on this host."""
+        if work < 0:
+            raise SimulationError(f"negative work: {work}")
+        if self.state is HostState.DOWN:
+            raise HostDownError(self.spec.name)
+        self._settle()
+        execution = TaskExecution(self, work, memory_mb, label)
+        self._running.append(execution)
+        self.sim.trace(
+            "exec.start", host=self.spec.name, label=execution.label, work=work
+        )
+        if execution.remaining <= 0.0:
+            # Zero-work tasks complete immediately (but asynchronously).
+            self._running.remove(execution)
+            execution.finished_at = self.sim.now
+            self.completed_count += 1
+            self.sim.call_at(self.sim.now, lambda: execution.done.succeed(execution))
+        self._reschedule_completion()
+        return execution
+
+    def cancel(self, execution: TaskExecution, cause: Any = None) -> None:
+        """Abort a running execution (Application Controller rescheduling)."""
+        if execution not in self._running:
+            return
+        self._settle()
+        self._running.remove(execution)
+        execution.finished_at = self.sim.now
+        self.failed_count += 1
+        self.sim.trace("exec.cancel", host=self.spec.name, label=execution.label)
+        execution.done.fail(
+            cause if isinstance(cause, BaseException) else Interrupted(cause)
+        )
+        self._reschedule_completion()
+
+    def set_bg_load(self, value: float) -> None:
+        """Update background load (driven by a workload generator process)."""
+        if value < 0:
+            raise SimulationError(f"negative background load: {value}")
+        self._settle()
+        self.bg_load = float(value)
+        self._reschedule_completion()
+
+    # -- failures ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Crash the host: all resident executions fail with HostDownError."""
+        if self.state is HostState.DOWN:
+            return
+        self._settle()
+        self.state = HostState.DOWN
+        victims, self._running = self._running, []
+        self.sim.trace("host.down", host=self.spec.name, victims=len(victims))
+        for execution in victims:
+            execution.finished_at = self.sim.now
+            self.failed_count += 1
+            execution.done.fail(HostDownError(self.spec.name))
+        self._reschedule_completion()
+
+    def recover(self) -> None:
+        if self.state is HostState.UP:
+            return
+        self._last_settle = self.sim.now
+        self.state = HostState.UP
+        self.sim.trace("host.up", host=self.spec.name)
+
+    # -- processor-sharing bookkeeping ----------------------------------------
+
+    def _settle(self) -> None:
+        """Credit elapsed progress to every resident execution."""
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= 0 or not self._running:
+            return
+        rate = self.per_task_rate()
+        self.busy_time += elapsed
+        if rate <= 0:
+            return
+        credit = elapsed * rate
+        for execution in self._running:
+            execution.remaining = max(0.0, execution.remaining - credit)
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_call is not None:
+            self._completion_call.cancelled = True
+            self._completion_call = None
+        if not self._running:
+            return
+        rate = self.per_task_rate()
+        if rate <= _MIN_RATE:
+            return  # stalled: no progress until conditions change
+        soonest = min(e.remaining for e in self._running)
+        eta = soonest / rate
+        self._completion_call = self.sim.call_after(eta, self._on_completion_tick)
+
+    def _on_completion_tick(self) -> None:
+        self._completion_call = None
+        self._settle()
+        finished = [e for e in self._running if e.remaining <= 1e-9]
+        if not finished and self._running:
+            # Float-stall guard (see Link._tick): a residual whose ETA is
+            # below the clock's ulp would re-tick at the same instant
+            # forever; treat it as complete.
+            rate = self.per_task_rate()
+            if rate > _MIN_RATE:
+                soonest = min(e.remaining for e in self._running)
+                if self.sim.now + soonest / rate <= self.sim.now:
+                    finished = [
+                        e for e in self._running if e.remaining <= soonest
+                    ]
+        for execution in finished:
+            self._running.remove(execution)
+            execution.remaining = 0.0
+            execution.finished_at = self.sim.now
+            self.completed_count += 1
+            self.sim.trace(
+                "exec.done",
+                host=self.spec.name,
+                label=execution.label,
+                elapsed=execution.elapsed,
+            )
+            execution.done.succeed(execution)
+        self._reschedule_completion()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Host({self.spec.name!r}, speed={self.spec.speed}, "
+            f"state={self.state.value}, load={self.load_average():.2f})"
+        )
+
+
+class Interrupted(RuntimeError):
+    """Execution was cancelled by the runtime (e.g. rescheduling)."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(f"execution cancelled: {cause!r}")
+        self.cause = cause

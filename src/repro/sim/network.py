@@ -1,0 +1,308 @@
+"""Network substrate: LAN/WAN links with latency, bandwidth and sharing.
+
+VDCE's site scheduler charges a task placed away from its parents an
+*inter-task transfer time* — "based on the network transfer time
+between a site and the parent's site, and the size of the transfer"
+(paper §3).  This module provides both faces of that quantity:
+
+* :meth:`Network.transfer_time_estimate` — the analytic
+  ``latency + size / bandwidth`` figure the *scheduler* uses (it only
+  has database parameters, not live link state);
+* :meth:`Network.transfer` — an actual simulated transfer on a
+  fair-share link, which is what the *runtime* (Data Manager) incurs.
+  Concurrent transfers on one link share its bandwidth equally, so the
+  estimate and the realised time diverge under contention exactly as
+  they would on the paper's campus network.
+
+Intra-host moves are free bar a tiny constant; intra-site moves use the
+site's LAN link; inter-site moves use the WAN link for that site pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.sim.kernel import Signal, SimulationError, Simulator
+
+__all__ = ["Link", "LinkSpec", "Network", "TransferModel", "Transfer"]
+
+#: time charged for a "transfer" between two tasks on the same host
+LOCAL_COPY_TIME = 1e-6
+
+_MIN_RATE = 1e-12
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static link parameters (what the resource-performance DB stores).
+
+    ``bandwidth_mbps`` is megabytes per second to keep workload file
+    sizes (expressed in MB, as in the paper's SIZE= properties) simple.
+    """
+
+    latency_s: float = 0.001
+    bandwidth_mbps: float = 10.0
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError(f"link {self.name!r}: negative latency")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"link {self.name!r}: bandwidth must be positive")
+
+    def transfer_time(self, size_mb: float) -> float:
+        """Analytic un-contended transfer time for ``size_mb`` megabytes."""
+        if size_mb < 0:
+            raise ValueError(f"negative transfer size: {size_mb}")
+        return self.latency_s + size_mb / self.bandwidth_mbps
+
+
+class Transfer:
+    """One in-flight transfer on a fair-share :class:`Link`."""
+
+    def __init__(self, link: "Link", size_mb: float, label: str):
+        self.link = link
+        self.size_mb = float(size_mb)
+        self.remaining_mb = float(size_mb)
+        self.label = label
+        self.started_at = link.sim.now
+        self.finished_at: Optional[float] = None
+        self.done: Signal = link.sim.signal(f"{link.spec.name}:{label}:done")
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.link.sim.now
+        return end - self.started_at
+
+
+class Link:
+    """A shared link: concurrent transfers split bandwidth equally.
+
+    The same settle/reschedule machinery as :class:`repro.sim.host.Host`
+    (a processor-sharing server over megabytes instead of work units).
+    Latency is applied up front as a fixed delay before the transfer
+    joins the bandwidth-sharing phase.
+    """
+
+    def __init__(self, sim: Simulator, spec: LinkSpec):
+        self.sim = sim
+        self.spec = spec
+        self._active: list[Transfer] = []
+        self._last_settle = sim.now
+        self._completion_call = None
+        self.bytes_carried_mb = 0.0
+        self.transfer_count = 0
+
+    @property
+    def n_active(self) -> int:
+        return len(self._active)
+
+    def per_transfer_rate(self) -> float:
+        if not self._active:
+            return 0.0
+        return self.spec.bandwidth_mbps / len(self._active)
+
+    def transfer(self, size_mb: float, label: str = "xfer") -> Transfer:
+        """Start a transfer; its ``done`` signal fires on completion."""
+        if size_mb < 0:
+            raise SimulationError(f"negative transfer size: {size_mb}")
+        t = Transfer(self, size_mb, label)
+        self.transfer_count += 1
+        self.bytes_carried_mb += size_mb
+
+        def begin_bandwidth_phase() -> None:
+            self._settle()
+            if t.remaining_mb <= 0.0:
+                t.finished_at = self.sim.now
+                self.sim.call_at(self.sim.now, lambda: t.done.succeed(t))
+                return
+            self._active.append(t)
+            self._reschedule_completion()
+
+        # latency phase first, then join the shared-bandwidth phase
+        self.sim.call_after(self.spec.latency_s, begin_bandwidth_phase)
+        self.sim.trace("net.xfer.start", link=self.spec.name, label=label, mb=size_mb)
+        return t
+
+    def _settle(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= 0 or not self._active:
+            return
+        credit = elapsed * self.per_transfer_rate()
+        for t in self._active:
+            t.remaining_mb = max(0.0, t.remaining_mb - credit)
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_call is not None:
+            self._completion_call.cancelled = True
+            self._completion_call = None
+        if not self._active:
+            return
+        rate = self.per_transfer_rate()
+        if rate <= _MIN_RATE:
+            return
+        soonest = min(t.remaining_mb for t in self._active)
+        self._completion_call = self.sim.call_after(soonest / rate, self._tick)
+
+    def _tick(self) -> None:
+        self._completion_call = None
+        self._settle()
+        finished = [t for t in self._active if t.remaining_mb <= 1e-12]
+        if not finished and self._active:
+            # Float-stall guard: at large virtual times a tiny residual's
+            # ETA can be below the clock's ulp, so the next tick would
+            # land on the same instant, settle zero progress, and loop
+            # forever.  Such residuals are complete by construction.
+            rate = self.per_transfer_rate()
+            if rate > _MIN_RATE:
+                soonest = min(t.remaining_mb for t in self._active)
+                if self.sim.now + soonest / rate <= self.sim.now:
+                    finished = [
+                        t for t in self._active if t.remaining_mb <= soonest
+                    ]
+        for t in finished:
+            self._active.remove(t)
+            t.finished_at = self.sim.now
+            self.sim.trace(
+                "net.xfer.done", link=self.spec.name, label=t.label, elapsed=t.elapsed
+            )
+            t.done.succeed(t)
+        self._reschedule_completion()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.spec.name!r}, active={len(self._active)})"
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Analytic view of the network used by schedulers.
+
+    Built from the same :class:`LinkSpec` parameters, independent of the
+    live :class:`Network`, because the paper's scheduler works off the
+    site repository, not live links.
+    """
+
+    local_copy_time: float = LOCAL_COPY_TIME
+    lan: LinkSpec = LinkSpec(name="lan")
+    wan: LinkSpec = LinkSpec(latency_s=0.05, bandwidth_mbps=1.0, name="wan")
+
+    def estimate(self, same_host: bool, same_site: bool, size_mb: float) -> float:
+        if same_host:
+            return self.local_copy_time
+        if same_site:
+            return self.lan.transfer_time(size_mb)
+        return self.wan.transfer_time(size_mb)
+
+
+class Network:
+    """Topology-wide link registry: per-site LANs, per-pair WAN links."""
+
+    def __init__(self, sim: Simulator, default_lan: LinkSpec | None = None,
+                 default_wan: LinkSpec | None = None):
+        self.sim = sim
+        self.default_lan = default_lan or LinkSpec(
+            latency_s=0.0005, bandwidth_mbps=10.0, name="lan-default"
+        )
+        self.default_wan = default_wan or LinkSpec(
+            latency_s=0.05, bandwidth_mbps=1.0, name="wan-default"
+        )
+        self._lans: Dict[str, Link] = {}
+        self._wans: Dict[Tuple[str, str], Link] = {}
+        self._host_sites: Dict[str, str] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def register_host(self, host_name: str, site_name: str) -> None:
+        if host_name in self._host_sites:
+            raise SimulationError(f"host {host_name!r} registered twice")
+        self._host_sites[host_name] = site_name
+        if site_name not in self._lans:
+            self.set_lan(site_name, self.default_lan)
+
+    def set_lan(self, site_name: str, spec: LinkSpec) -> None:
+        spec = LinkSpec(spec.latency_s, spec.bandwidth_mbps, f"lan:{site_name}")
+        self._lans[site_name] = Link(self.sim, spec)
+
+    def set_wan(self, site_a: str, site_b: str, spec: LinkSpec) -> None:
+        key = self._wan_key(site_a, site_b)
+        spec = LinkSpec(spec.latency_s, spec.bandwidth_mbps, f"wan:{key[0]}-{key[1]}")
+        self._wans[key] = Link(self.sim, spec)
+
+    @staticmethod
+    def _wan_key(site_a: str, site_b: str) -> Tuple[str, str]:
+        return (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+
+    # -- lookup ------------------------------------------------------------
+
+    def site_of(self, host_name: str) -> str:
+        try:
+            return self._host_sites[host_name]
+        except KeyError:
+            raise SimulationError(f"unknown host {host_name!r}") from None
+
+    def link_between(self, src_host: str, dst_host: str) -> Optional[Link]:
+        """The link a transfer between two hosts rides on (None = local)."""
+        if src_host == dst_host:
+            return None
+        site_a, site_b = self.site_of(src_host), self.site_of(dst_host)
+        if site_a == site_b:
+            return self._lans[site_a]
+        key = self._wan_key(site_a, site_b)
+        if key not in self._wans:
+            # full-mesh default: lazily create the WAN link for this pair
+            self.set_wan(site_a, site_b, self.default_wan)
+        return self._wans[key]
+
+    def wan_link(self, site_a: str, site_b: str) -> Link:
+        key = self._wan_key(site_a, site_b)
+        if key not in self._wans:
+            self.set_wan(site_a, site_b, self.default_wan)
+        return self._wans[key]
+
+    def lan_link(self, site_name: str) -> Link:
+        if site_name not in self._lans:
+            self.set_lan(site_name, self.default_lan)
+        return self._lans[site_name]
+
+    # -- use ------------------------------------------------------------------
+
+    def transfer_time_estimate(self, src_host: str, dst_host: str, size_mb: float) -> float:
+        """Scheduler-facing analytic transfer time (no contention)."""
+        link = self.link_between(src_host, dst_host)
+        if link is None:
+            return LOCAL_COPY_TIME
+        return link.spec.transfer_time(size_mb)
+
+    def site_transfer_time_estimate(self, site_a: str, site_b: str, size_mb: float) -> float:
+        """Site-granularity estimate used by the site scheduler (Fig. 2)."""
+        if site_a == site_b:
+            return self.lan_link(site_a).spec.transfer_time(size_mb)
+        return self.wan_link(site_a, site_b).spec.transfer_time(size_mb)
+
+    def transfer(self, src_host: str, dst_host: str, size_mb: float,
+                 label: str = "xfer") -> Transfer:
+        """Run a real (simulated, contention-aware) transfer."""
+        link = self.link_between(src_host, dst_host)
+        if link is None:
+            # local move: complete after the constant copy time
+            t = Transfer(_LocalLink(self.sim), size_mb, label)
+            t.remaining_mb = 0.0
+
+            def finish() -> None:
+                t.finished_at = self.sim.now
+                t.done.succeed(t)
+
+            self.sim.call_after(LOCAL_COPY_TIME, finish)
+            return t
+        return link.transfer(size_mb, label=label)
+
+
+class _LocalLink:
+    """Stand-in link object for same-host transfers."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spec = LinkSpec(latency_s=0.0, bandwidth_mbps=1e9, name="local")

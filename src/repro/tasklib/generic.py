@@ -1,0 +1,112 @@
+"""The generic library: shape-only tasks for synthetic workloads.
+
+Random-DAG experiments (E2, E9, E10, E11) need tasks whose costs are
+set per node rather than per library entry; these entries provide that
+via ``workload_scale`` (cost = base_comp_size x scale) with trivial
+pass-through implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+from repro.tasklib.base import ParallelModel, TaskSignature
+
+__all__ = ["SIGNATURES"]
+
+
+def _source(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return [{"payload": "source", "scale": scale}]
+
+
+def _compute(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return [inputs[0]]
+
+
+def _split(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return [inputs[0], inputs[0]]
+
+
+def _join(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return [list(inputs)]
+
+
+def _merge(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return [list(inputs)]
+
+
+def _sink(inputs: Sequence[Any], scale: float) -> List[Any]:
+    return []
+
+
+SIGNATURES = [
+    TaskSignature(
+        name="source",
+        library="generic",
+        n_in_ports=0,
+        n_out_ports=1,
+        base_comp_size=1.0,
+        base_memory_mb=4,
+        comm_size_mb=1.0,
+        fn=_source,
+        description="Entry task producing a token",
+    ),
+    TaskSignature(
+        name="compute",
+        library="generic",
+        n_in_ports=1,
+        n_out_ports=1,
+        base_comp_size=1.0,
+        base_memory_mb=8,
+        comm_size_mb=1.0,
+        parallel=ParallelModel(overhead=0.05),
+        fn=_compute,
+        description="Unit-cost compute stage (scale to size)",
+    ),
+    TaskSignature(
+        name="split",
+        library="generic",
+        n_in_ports=1,
+        n_out_ports=2,
+        base_comp_size=0.5,
+        base_memory_mb=4,
+        comm_size_mb=1.0,
+        fn=_split,
+        description="Fan-out stage",
+    ),
+    TaskSignature(
+        name="join",
+        library="generic",
+        n_in_ports=2,
+        n_out_ports=1,
+        base_comp_size=0.5,
+        base_memory_mb=4,
+        comm_size_mb=1.0,
+        fn=_join,
+        description="Fan-in stage",
+    ),
+    TaskSignature(
+        name="merge",
+        library="generic",
+        n_in_ports=1,
+        n_out_ports=1,
+        base_comp_size=1.0,
+        base_memory_mb=8,
+        comm_size_mb=1.0,
+        parallel=ParallelModel(overhead=0.05),
+        fn=_merge,
+        description="Variadic compute/merge stage (any fan-in)",
+        variadic_inputs=True,
+    ),
+    TaskSignature(
+        name="sink",
+        library="generic",
+        n_in_ports=1,
+        n_out_ports=0,
+        base_comp_size=0.5,
+        base_memory_mb=4,
+        comm_size_mb=0.0,
+        fn=_sink,
+        description="Exit task consuming a token",
+    ),
+]

@@ -1,0 +1,77 @@
+"""The task registry: the editor's menu of libraries and entries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.tasklib.base import TaskSignature
+
+__all__ = ["TaskRegistry", "default_registry"]
+
+
+class TaskRegistry:
+    """Qualified-name lookup plus library grouping for the editor menus."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, TaskSignature] = {}
+
+    def register(self, sig: TaskSignature) -> TaskSignature:
+        key = sig.qualified_name
+        if key in self._by_name:
+            raise ValueError(f"task {key!r} registered twice")
+        self._by_name[key] = sig
+        return sig
+
+    def register_all(self, sigs: Iterable[TaskSignature]) -> None:
+        for sig in sigs:
+            self.register(sig)
+
+    def has(self, qualified_name: str) -> bool:
+        return qualified_name in self._by_name
+
+    def get(self, qualified_name: str) -> TaskSignature:
+        try:
+            return self._by_name[qualified_name]
+        except KeyError:
+            raise KeyError(f"unknown task type {qualified_name!r}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def libraries(self) -> List[str]:
+        return sorted({sig.library for sig in self._by_name.values()})
+
+    def library_entries(self, library: str) -> List[TaskSignature]:
+        """The menu for one library group (sorted by entry name)."""
+        entries = [s for s in self._by_name.values() if s.library == library]
+        if not entries:
+            raise KeyError(f"unknown library {library!r}")
+        return sorted(entries, key=lambda s: s.name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, qualified_name: str) -> bool:
+        return self.has(qualified_name)
+
+
+_default: TaskRegistry | None = None
+
+
+def default_registry() -> TaskRegistry:
+    """The standard VDCE palette: matrix algebra + C3I + generic libraries.
+
+    Built lazily (and cached) so importing :mod:`repro.tasklib` stays
+    cheap and library modules can import :mod:`base` freely.
+    """
+    global _default
+    if _default is None:
+        from repro.tasklib import c3i, generic, matrix, signal
+
+        registry = TaskRegistry()
+        registry.register_all(matrix.SIGNATURES)
+        registry.register_all(c3i.SIGNATURES)
+        registry.register_all(generic.SIGNATURES)
+        registry.register_all(signal.SIGNATURES)
+        _default = registry
+    return _default

@@ -1,0 +1,21 @@
+"""The visualisation service (paper §4.2).
+
+"The VDCE visualization service provides application performance and
+workload visualizations."  Rendered as plain text so it works in any
+terminal and in test assertions: a per-host Gantt chart of task
+executions (:func:`gantt`) and a workload timeline sparkline
+(:func:`workload_sparkline`).
+"""
+
+from repro.viz.gantt import gantt
+from repro.viz.report import execution_report
+from repro.viz.topology_view import topology_diagram
+from repro.viz.workload import LoadRecorder, workload_sparkline
+
+__all__ = [
+    "LoadRecorder",
+    "execution_report",
+    "gantt",
+    "topology_diagram",
+    "workload_sparkline",
+]

@@ -1,0 +1,55 @@
+"""Composed execution reports — the visualisation service's full view.
+
+One call renders everything an operator wants after a run: the
+placement table, the Gantt chart, the phase breakdown and the
+efficiency figures.  Used by ``python -m repro run --report`` and the
+web editor's report endpoint.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.tables import format_table
+from repro.metrics.timeline import parallel_efficiency
+from repro.runtime.execution import ApplicationResult
+from repro.viz.gantt import gantt
+
+__all__ = ["execution_report"]
+
+
+def execution_report(result: ApplicationResult, width: int = 72) -> str:
+    """A complete plain-text report for one application run."""
+    rows = []
+    for task_id in sorted(result.records):
+        record = result.records[task_id]
+        rows.append(
+            {
+                "task": task_id,
+                "type": record.task_type.split(".", 1)[-1],
+                "site": record.site,
+                "hosts": ",".join(record.hosts),
+                "start_s": round(record.started_at - result.startup_at, 3),
+                "run_s": round(record.measured_time, 3),
+                "tries": record.attempts,
+            }
+        )
+    sections = [
+        f"=== execution report: {result.application} "
+        f"(scheduler={result.scheduler}) ===",
+        format_table(rows, title="placement & timing"),
+        "",
+        gantt(result, width=width),
+        "",
+        "phases:",
+        f"  setup    {result.setup_time:10.4f} s  "
+        f"(allocation distribution + channel setup)",
+        f"  execute  {result.makespan:10.4f} s  (startup signal -> last finish)",
+        f"  total    {result.total_time:10.4f} s",
+        "",
+        "data plane:",
+        f"  transfers        {result.data_transfers}",
+        f"  volume           {result.data_transferred_mb:.2f} MB",
+        f"  reschedules      {result.reschedules}",
+        f"  hosts used       {len(result.hosts_used())}",
+        f"  parallel eff.    {parallel_efficiency(result):.2%}",
+    ]
+    return "\n".join(sections)

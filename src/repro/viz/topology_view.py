@@ -1,0 +1,50 @@
+"""ASCII rendering of a deployment's topology (sites, hosts, links)."""
+
+from __future__ import annotations
+
+from repro.sim.topology import Topology
+
+__all__ = ["topology_diagram"]
+
+
+def topology_diagram(topology: Topology) -> str:
+    """Render sites with their hosts and the WAN latency matrix."""
+    lines = []
+    for site_name in topology.site_names:
+        site = topology.site(site_name)
+        lan = topology.network.lan_link(site_name).spec
+        lines.append(
+            f"site {site_name}  (LAN {lan.latency_s * 1000:.2f} ms, "
+            f"{lan.bandwidth_mbps:g} MB/s)"
+        )
+        for group in site.groups.values():
+            lines.append(f"  group {group.name} (leader {group.leader.name})")
+            for host in group:
+                marker = "*" if host.name == site.spec.server_name else " "
+                status = "up" if host.is_up() else "DOWN"
+                lines.append(
+                    f"   {marker}{host.name:<16} speed={host.spec.speed:<4g} "
+                    f"mem={host.spec.memory_mb}MB {host.spec.arch}/"
+                    f"{host.spec.os} [{status}] load={host.load_average():.2f}"
+                )
+    names = topology.site_names
+    if len(names) > 1:
+        lines.append("")
+        lines.append("WAN latency (ms) / bandwidth (MB/s):")
+        header = "            " + "".join(f"{n[:10]:>12}" for n in names)
+        lines.append(header)
+        for a in names:
+            row = [f"{a[:10]:<12}"]
+            for b in names:
+                if a == b:
+                    row.append(f"{'-':>12}")
+                else:
+                    spec = topology.network.wan_link(a, b).spec
+                    row.append(
+                        f"{spec.latency_s * 1000:.1f}/{spec.bandwidth_mbps:g}"
+                        .rjust(12)
+                    )
+            lines.append("".join(row))
+    lines.append("")
+    lines.append("(* = site VDCE server)")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Application/workload generators for examples and experiments.
+
+* :mod:`linear_solver` — the paper's Figure 1 application (both the
+  figure-faithful AFG and a fully computational variant);
+* :mod:`c3i_apps` — C3I surveillance pipelines over the C3I library;
+* :mod:`random_dag` — parameterised layered random DAGs (task count,
+  width, fan-in, cost heterogeneity, communication volume) for the
+  scheduling experiments;
+* :mod:`pipelines` — structured shapes: linear pipelines, fork-join,
+  reduction trees, embarrassingly parallel bags.
+"""
+
+from repro.workloads.linear_solver import figure1_afg, linear_solver_afg
+from repro.workloads.c3i_apps import surveillance_afg
+from repro.workloads.random_dag import RandomDAGConfig, random_dag
+from repro.workloads.pipelines import (
+    bag_of_tasks,
+    fork_join,
+    linear_pipeline,
+    reduction_tree,
+    wavefront,
+)
+
+__all__ = [
+    "RandomDAGConfig",
+    "bag_of_tasks",
+    "figure1_afg",
+    "fork_join",
+    "linear_pipeline",
+    "linear_solver_afg",
+    "random_dag",
+    "reduction_tree",
+    "surveillance_afg",
+    "wavefront",
+]

@@ -1,0 +1,70 @@
+"""C3I applications built from the C3I task library (paper §2).
+
+The VDCE project was funded by Rome Laboratory and motivated by C3I
+(command, control, communication & intelligence) workloads; its editor
+ships a "C3I (command and control applications) library".  This module
+assembles that library into the canonical multi-sensor surveillance
+pipeline: N sensor sweeps, per-sensor track filtering, pairwise track
+correlation (fusion), threat assessment, and two consumers (operator
+display + intelligence archive).  Every stage executes real numpy code.
+"""
+
+from __future__ import annotations
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.properties import TaskProperties
+from repro.afg.task import TaskNode
+
+__all__ = ["surveillance_afg"]
+
+
+def surveillance_afg(n_sensors: int = 2, scale: float = 0.5) -> ApplicationFlowGraph:
+    """Multi-sensor surveillance: fuse ``n_sensors`` tracks into a picture.
+
+    Fusion is a left-leaning correlation tree: sensors 0 and 1 fuse
+    first, each further sensor correlates into the running picture.
+    ``n_sensors`` must be >= 2 (correlation is pairwise).
+    """
+    if n_sensors < 2:
+        raise ValueError("surveillance needs at least two sensors")
+    track_mb = 2.0 * scale
+    afg = ApplicationFlowGraph(f"c3i-surveillance-{n_sensors}")
+
+    filtered = []
+    for i in range(n_sensors):
+        sweep = f"sensor{i:02d}"
+        filt = f"filter{i:02d}"
+        afg.add_task(TaskNode(id=sweep, task_type="c3i.sensor_sweep",
+                              n_out_ports=1,
+                              properties=TaskProperties(workload_scale=scale)))
+        afg.add_task(TaskNode(id=filt, task_type="c3i.track_filter",
+                              n_in_ports=1, n_out_ports=1,
+                              properties=TaskProperties(workload_scale=scale)))
+        afg.connect(sweep, filt, size_mb=track_mb)
+        filtered.append(filt)
+
+    fused = filtered[0]
+    for i in range(1, n_sensors):
+        corr = f"correlate{i:02d}"
+        afg.add_task(TaskNode(id=corr, task_type="c3i.track_correlation",
+                              n_in_ports=2, n_out_ports=1,
+                              properties=TaskProperties(workload_scale=scale)))
+        afg.connect(fused, corr, dst_port=0, size_mb=track_mb)
+        afg.connect(filtered[i], corr, dst_port=1, size_mb=track_mb)
+        fused = corr
+
+    afg.add_task(TaskNode(id="assess", task_type="c3i.threat_assessment",
+                          n_in_ports=1, n_out_ports=1,
+                          properties=TaskProperties(workload_scale=scale)))
+    afg.connect(fused, "assess", size_mb=track_mb)
+
+    afg.add_task(TaskNode(id="display", task_type="c3i.display_format",
+                          n_in_ports=1, n_out_ports=1,
+                          properties=TaskProperties(workload_scale=scale)))
+    afg.add_task(TaskNode(id="archive", task_type="c3i.intel_archive",
+                          n_in_ports=1, n_out_ports=1,
+                          properties=TaskProperties(workload_scale=scale)))
+    # threat_assessment has one out port feeding both consumers
+    afg.connect("assess", "display", src_port=0, size_mb=track_mb)
+    afg.connect("assess", "archive", src_port=0, size_mb=0.01)
+    return afg

@@ -1,0 +1,164 @@
+"""The Linear Equation Solver — the application of paper Figure 1.
+
+Two variants:
+
+* :func:`figure1_afg` reproduces the figure verbatim: an
+  LU-Decomposition task (parallel, 2 nodes, file input
+  ``matrix_A.dat`` with SIZE=124.88) feeding a Matrix-Multiplication
+  task (sequential, 1 node, preferred machine type "SUN solaris",
+  preferred machine ``hunding.top.cis.syr.edu``, dataflow inputs,
+  file output ``vector_X.dat``).  It is schedule-able as-is; executing
+  it stages the (synthetic) input file.
+* :func:`linear_solver_afg` is the computational variant used by the
+  examples and tests: generate an SPD system, factorise, solve, verify
+  the residual — every stage runs real numpy/scipy code, so the
+  end-to-end pipeline can be checked for numerical correctness.
+"""
+
+from __future__ import annotations
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.properties import (
+    ComputationMode,
+    FileSpec,
+    InputBinding,
+    TaskProperties,
+)
+from repro.afg.task import TaskNode
+
+__all__ = ["figure1_afg", "linear_solver_afg"]
+
+#: the exact file path and size shown in Figure 1's properties window
+FIGURE1_MATRIX_PATH = "/u/users/VDCE/user_k/matrix_A.dat"
+FIGURE1_MATRIX_SIZE_MB = 124.88
+FIGURE1_OUTPUT_PATH = "/u/users/VDCE/user_k/vector_X.dat"
+
+
+def figure1_afg() -> ApplicationFlowGraph:
+    """The Figure 1 AFG with its two annotated task-properties windows."""
+    afg = ApplicationFlowGraph("linear-equation-solver")
+    afg.add_task(
+        TaskNode(
+            id="LU_Decomposition",
+            task_type="matrix.lu_decomposition",
+            n_in_ports=1,
+            n_out_ports=1,
+            properties=TaskProperties(
+                mode=ComputationMode.PARALLEL,
+                n_nodes=2,  # "Number of Nodes: 2"
+                # "Preferred Machine Type: <any>", "Preferred Machine: <any>"
+                inputs=(
+                    InputBinding(
+                        0, FileSpec(FIGURE1_MATRIX_PATH, FIGURE1_MATRIX_SIZE_MB)
+                    ),
+                ),
+            ),
+        )
+    )
+    afg.add_task(
+        TaskNode(
+            id="Matrix_Multiplication",
+            task_type="matrix.matrix_multiply",
+            n_in_ports=2,
+            n_out_ports=1,
+            properties=TaskProperties(
+                mode=ComputationMode.SEQUENTIAL,
+                n_nodes=1,  # "Number of Nodes: 1"
+                preferred_machine_type="SUN solaris",
+                # figure lists a specific preferred machine; we keep the
+                # type preference only so the AFG is schedulable on any
+                # deployment (the exact hostname belongs to the 1997 lab)
+                inputs=(InputBinding(0), InputBinding(1)),  # "<dataflow, dataflow>"
+                outputs=(FileSpec(FIGURE1_OUTPUT_PATH, 0.5),),
+            ),
+        )
+    )
+    # both dataflow inputs of the multiplication come from the LU stage
+    afg.connect("LU_Decomposition", "Matrix_Multiplication",
+                src_port=0, dst_port=0, size_mb=60.0)
+    # second input: the original matrix file forwarded alongside
+    afg.add_task(
+        TaskNode(
+            id="Matrix_Source",
+            task_type="matrix.transpose",
+            n_in_ports=1,
+            n_out_ports=1,
+            properties=TaskProperties(
+                inputs=(
+                    InputBinding(
+                        0, FileSpec(FIGURE1_MATRIX_PATH, FIGURE1_MATRIX_SIZE_MB)
+                    ),
+                ),
+            ),
+        )
+    )
+    afg.connect("Matrix_Source", "Matrix_Multiplication",
+                src_port=0, dst_port=1, size_mb=FIGURE1_MATRIX_SIZE_MB)
+    return afg
+
+
+def linear_solver_afg(scale: float = 0.2, parallel_lu_nodes: int = 2,
+                      verify: bool = True) -> ApplicationFlowGraph:
+    """Computational linear solver: generate -> LU -> solve [-> residual]."""
+    afg = ApplicationFlowGraph("linear-solver")
+    afg.add_task(
+        TaskNode(
+            id="generate",
+            task_type="matrix.generate_system",
+            n_out_ports=2,
+            properties=TaskProperties(workload_scale=scale),
+        )
+    )
+    lu_props = (
+        TaskProperties(
+            workload_scale=scale,
+            mode=ComputationMode.PARALLEL,
+            n_nodes=parallel_lu_nodes,
+        )
+        if parallel_lu_nodes > 1
+        else TaskProperties(workload_scale=scale)
+    )
+    afg.add_task(
+        TaskNode(
+            id="lu",
+            task_type="matrix.lu_decomposition",
+            n_in_ports=1,
+            n_out_ports=1,
+            properties=lu_props,
+        )
+    )
+    afg.add_task(
+        TaskNode(
+            id="solve",
+            task_type="matrix.triangular_solve",
+            n_in_ports=2,
+            n_out_ports=1,
+            properties=TaskProperties(workload_scale=scale),
+        )
+    )
+    size = 4.0 * scale
+    afg.connect("generate", "lu", src_port=0, dst_port=0, size_mb=size)
+    afg.connect("generate", "solve", src_port=1, dst_port=1, size_mb=size / 8)
+    afg.connect("lu", "solve", src_port=0, dst_port=0, size_mb=size)
+    if verify:
+        afg.add_task(
+            TaskNode(
+                id="verify",
+                task_type="matrix.residual_norm",
+                n_in_ports=3,
+                n_out_ports=1,
+                properties=TaskProperties(workload_scale=scale),
+            )
+        )
+        afg.add_task(
+            TaskNode(
+                id="generate2",
+                task_type="matrix.generate_system",
+                n_out_ports=2,
+                properties=TaskProperties(workload_scale=scale),
+            )
+        )
+        afg.connect("generate2", "verify", src_port=0, dst_port=0, size_mb=size)
+        afg.connect("solve", "verify", src_port=0, dst_port=1, size_mb=size / 8)
+        afg.connect("generate2", "verify", src_port=1, dst_port=2, size_mb=size / 8)
+    return afg

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_libraries_lists_all_menus(self, capsys):
+        assert main(["libraries"]) == 0
+        out = capsys.readouterr().out
+        for library in ("matrix:", "c3i:", "generic:", "signal:"):
+            assert library in out
+        assert "matrix.lu_decomposition" in out
+        assert "[parallel]" in out
+
+    def test_experiments_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("E1", "E7", "E13"):
+            assert exp in out
+        assert "bench_fig2_site_scheduler.py" in out
+
+    def test_run_linear_solver(self, capsys):
+        assert main(["run", "linear-solver", "--scale", "0.15",
+                     "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan=" in out
+        assert "slr=" in out
+        assert "verify" in out  # placement row + output
+        assert "scheduler=vdce" in out  # gantt header
+
+    def test_run_figure1(self, capsys):
+        assert main(["run", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "LU_Decomposition" in out
+
+    def test_run_c3i_with_monitoring(self, capsys):
+        assert main(["run", "c3i", "--scale", "0.25", "--monitoring"]) == 0
+        out = capsys.readouterr().out
+        assert "archive" in out
+
+    def test_run_dsp_prints_outputs(self, capsys):
+        assert main(["run", "dsp", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "peaks:" in out
+
+    def test_run_random_dag(self, capsys):
+        assert main(["run", "random-dag", "--sites", "3", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "30 tasks on 3 sites" in out
+
+    def test_run_unknown_app_exits(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["run", "nonsense"])
+
+    def test_monitor_prints_sparklines_and_stats(self, capsys):
+        assert main(["monitor", "--duration", "20", "--hosts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor_reports" in out
+        assert "max=" in out  # sparkline scale labels
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

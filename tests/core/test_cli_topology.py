@@ -1,0 +1,36 @@
+"""Tests for the topology CLI command and diagram rendering."""
+
+import pytest
+
+from repro import VDCE
+from repro.cli import main
+from repro.viz import topology_diagram
+
+
+class TestTopologyDiagram:
+    def test_diagram_lists_sites_hosts_and_wan(self):
+        env = VDCE.standard(n_sites=3, hosts_per_site=2, seed=1)
+        text = topology_diagram(env.topology)
+        for site in env.sites:
+            assert f"site {site}" in text
+        for host in env.topology.all_hosts:
+            assert host.name in text
+        assert "WAN latency" in text
+        assert "(* = site VDCE server)" in text
+
+    def test_diagram_marks_down_hosts(self):
+        env = VDCE.standard(n_sites=1, hosts_per_site=2)
+        env.topology.host("site-0-h01").fail()
+        text = topology_diagram(env.topology)
+        assert "[DOWN]" in text
+        assert "[up]" in text
+
+    def test_single_site_has_no_wan_matrix(self):
+        env = VDCE.standard(n_sites=1, hosts_per_site=2)
+        assert "WAN latency" not in topology_diagram(env.topology)
+
+    def test_cli_topology_command(self, capsys):
+        assert main(["topology", "--sites", "2", "--hosts", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "site site-0" in out
+        assert "site-1-h02" in out

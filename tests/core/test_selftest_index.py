@@ -1,0 +1,77 @@
+"""Tests: the selftest command and the webapp index page."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSelftest:
+    def test_selftest_passes_end_to_end(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert out.count("ok    ") == 5
+        assert "FAIL" not in out
+
+
+class TestWebIndex:
+    def test_index_page_documents_the_api(self):
+        pytest.importorskip("flask")
+        from repro.editor.webapp import create_webapp
+        from tests.runtime.conftest import build_runtime
+
+        rt = build_runtime()
+        app = create_webapp(rt, site="alpha")
+        app.config["TESTING"] = True
+        client = app.test_client()
+        response = client.get("/")
+        assert response.status_code == 200
+        text = response.get_data(as_text=True)
+        assert "VDCE Application Editor" in text
+        assert "POST /login" in text
+        assert "site: alpha" in text
+
+    def test_missing_required_field_is_400_not_500(self):
+        pytest.importorskip("flask")
+        from repro.editor.webapp import create_webapp
+        from tests.runtime.conftest import build_runtime
+
+        rt = build_runtime()
+        app = create_webapp(rt, site="alpha")
+        app.config["TESTING"] = True
+        client = app.test_client()
+        token = client.post("/login", json={"user": "admin",
+                                            "password": "vdce-admin"}
+                            ).get_json()["token"]
+        headers = {"X-VDCE-Token": token}
+        client.post("/applications", json={"name": "x"}, headers=headers)
+        # edges endpoint without 'src'
+        response = client.post("/applications/x/edges", json={"dst": "b"},
+                               headers=headers)
+        assert response.status_code == 400
+        assert "missing required field" in response.get_json()["error"]
+
+
+class TestSchedulingErrorMapping:
+    def test_unschedulable_submit_is_409(self):
+        pytest.importorskip("flask")
+        from repro.editor.webapp import create_webapp
+        from tests.runtime.conftest import build_runtime
+
+        rt = build_runtime()
+        app = create_webapp(rt, site="alpha")
+        app.config["TESTING"] = True
+        client = app.test_client()
+        token = client.post("/login", json={"user": "admin",
+                                            "password": "vdce-admin"}
+                            ).get_json()["token"]
+        headers = {"X-VDCE-Token": token}
+        client.post("/applications", json={"name": "x"}, headers=headers)
+        client.post("/applications/x/tasks",
+                    json={"task_type": "generic.source",
+                          "preferred_machine": "nowhere"},
+                    headers=headers)
+        response = client.post("/applications/x/submit", json={"k": 1},
+                               headers=headers)
+        assert response.status_code == 409
+        assert "scheduling failed" in response.get_json()["error"]

@@ -1,0 +1,44 @@
+"""Tests: whole-deployment durable state (save/load repositories)."""
+
+import pytest
+
+from repro import VDCE
+from repro.repository import AccessDomain
+
+
+class TestDeploymentPersistence:
+    def test_save_and_resume_deployment(self, tmp_path):
+        env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=1)
+        env.add_user("haluk", "secret", priority=7,
+                     access_domain=AccessDomain.GLOBAL)
+        # accumulate some learned state
+        from repro.workloads import linear_pipeline
+
+        env.submit(linear_pipeline(n_stages=3, cost=1.0), k=1,
+                   execute_payloads=False)
+        paths = env.save_repositories(str(tmp_path))
+        assert len(paths) == 2
+
+        # "restart the servers": fresh topology, restored repositories
+        repos = VDCE.load_repositories(str(tmp_path))
+        env2 = VDCE.standard(n_sites=2, hosts_per_site=2, seed=1,
+                             repositories=repos)
+        session = env2.open_editor("haluk", "secret")
+        assert session.account.priority == 7
+        # the calibrations learned before the restart survived
+        from repro.repository import snapshot_repository
+
+        persisted = [
+            entry
+            for repo in env2.runtime.repositories.values()
+            for entry in snapshot_repository(repo)["calibrations"]
+        ]
+        assert persisted, "learned (task, host) ratios must be persisted"
+        # and the resumed deployment still runs applications
+        result = env2.submit(linear_pipeline(n_stages=2, cost=1.0), k=1,
+                             execute_payloads=False)
+        assert result.makespan > 0
+
+    def test_load_from_empty_dir_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            VDCE.load_repositories(str(tmp_path))

@@ -1,0 +1,55 @@
+"""Tests: the account access domain caps a submission's federation reach."""
+
+import pytest
+
+from repro.editor import EditorSession
+from repro.editor.session import CAMPUS_MAX_K
+from repro.repository import AccessDomain
+
+from tests.runtime.conftest import build_runtime
+
+
+def runtime_with_domains():
+    rt = build_runtime(
+        site_hosts={
+            "alpha": [("a1", 1.0, 256)],
+            "beta": [("b1", 8.0, 256)],  # much faster, tempting
+        }
+    )
+    users = rt.repositories["alpha"].users
+    users.add_user("local-user", "x", access_domain=AccessDomain.LOCAL)
+    users.add_user("campus-user", "x", access_domain=AccessDomain.CAMPUS)
+    users.add_user("global-user", "x", access_domain=AccessDomain.GLOBAL)
+    return rt
+
+
+class TestAccessDomain:
+    def test_effective_k_per_domain(self):
+        rt = runtime_with_domains()
+        local = EditorSession(rt, "alpha", "local-user", "x")
+        campus = EditorSession(rt, "alpha", "campus-user", "x")
+        global_ = EditorSession(rt, "alpha", "global-user", "x")
+        assert local.effective_k(5) == 0
+        assert campus.effective_k(5) == CAMPUS_MAX_K
+        assert campus.effective_k(1) == 1
+        assert global_.effective_k(5) == 5
+        with pytest.raises(ValueError):
+            local.effective_k(-1)
+
+    def test_local_account_cannot_offload(self):
+        rt = runtime_with_domains()
+        session = EditorSession(rt, "alpha", "local-user", "x")
+        builder = session.new_application("job")
+        builder.add("generic.source", workload_scale=3.0)
+        result = session.submit("job", k=5)
+        sites = {r.site for r in result.records.values()}
+        assert sites == {"alpha"}  # despite beta being 8x faster
+
+    def test_global_account_reaches_remote_sites(self):
+        rt = runtime_with_domains()
+        session = EditorSession(rt, "alpha", "global-user", "x")
+        builder = session.new_application("job")
+        builder.add("generic.source", workload_scale=3.0)
+        result = session.submit("job", k=5)
+        sites = {r.site for r in result.records.values()}
+        assert sites == {"beta"}  # free to chase the fast host

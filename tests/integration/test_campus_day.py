@@ -1,0 +1,91 @@
+"""Integration: a compressed campus-day scenario (all subsystems at once)."""
+
+import pytest
+
+from repro import VDCE, DeploymentSpec, SiteConfig
+from repro.repository import AccessDomain
+from repro.runtime import AdmissionQueue, RuntimeConfig
+from repro.sim import DiurnalLoad, FailureInjector
+from repro.sim.workload import attach_generators
+from repro.workloads import (
+    RandomDAGConfig,
+    linear_solver_afg,
+    random_dag,
+    surveillance_afg,
+)
+
+HORIZON_S = 3600.0
+
+
+def test_compressed_campus_day():
+    spec = DeploymentSpec(
+        sites=(
+            SiteConfig(name="engineering", n_hosts=3, speed=2.0),
+            SiteConfig(name="science", n_hosts=3, speed=1.5),
+        ),
+        seed=7,
+    )
+    env = VDCE(
+        spec=spec,
+        runtime_config=RuntimeConfig(
+            monitor_period_s=15.0,
+            echo_period_s=30.0,
+            echo_loss_prob=0.05,
+            suspicion_threshold=3,
+            load_threshold=4.0,
+            check_period_s=15.0,
+        ),
+    )
+    attach_generators(
+        env.sim,
+        env.topology.all_hosts,
+        lambda: DiurnalLoad(base=0.1, amplitude=1.5,
+                            day_length_s=2 * HORIZON_S, jitter=0.1,
+                            period_s=30.0),
+    )
+    injector = FailureInjector(env.sim)
+    for host in env.topology.all_hosts:
+        injector.start_random(host, mtbf_s=HORIZON_S, mttr_s=200.0)
+    env.start_monitoring()
+
+    env.add_user("ops", "x", priority=9, access_domain=AccessDomain.GLOBAL)
+    env.add_user("grad", "x", priority=2, access_domain=AccessDomain.CAMPUS)
+    queue = AdmissionQueue(env.runtime, max_concurrent=2, site="engineering")
+
+    apps = [
+        linear_solver_afg(scale=0.15),
+        surveillance_afg(n_sensors=2, scale=0.3),
+        random_dag(RandomDAGConfig(n_tasks=10, width=3, mean_cost=10.0,
+                                   ccr=0.3, seed=3)),
+        linear_solver_afg(scale=0.15),
+    ]
+    for i, afg in enumerate(apps):
+        afg.name = f"job-{i}"
+    signals = []
+    for i, afg in enumerate(apps):
+        env.sim.call_at(
+            100.0 + 400.0 * i,
+            lambda a=afg, u=("ops" if i % 2 else "grad"):
+                signals.append(queue.submit(a, u)),
+        )
+
+    env.advance(HORIZON_S)
+
+    # every submission resolved (success or a surfaced error), none hung
+    assert len(signals) == 4
+    assert all(s.triggered for s in signals)
+    completed = [s.value for s in signals if not s.failed]
+    # at least the two linear solvers should complete despite the chaos
+    assert len(completed) >= 2
+    for result in completed:
+        assert result.makespan > 0
+    # the control plane did its jobs
+    stats = env.stats()
+    assert stats["monitor_reports"] > 0
+    assert stats["workload_suppressed"] > 0
+    assert stats["echo_packets"] > 0
+    if injector.log:
+        assert stats["failure_notifications"] >= 0  # detections logged
+    # determinism of the whole chaotic scenario
+    # (seed-stability is covered elsewhere; here we assert it ran to the end)
+    assert env.sim.now == pytest.approx(HORIZON_S)

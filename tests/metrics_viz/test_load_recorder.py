@@ -1,0 +1,52 @@
+"""Tests for the LoadRecorder workload visualisation."""
+
+import pytest
+
+from repro.scheduler import SiteScheduler
+from repro.viz import LoadRecorder
+from repro.workloads import bag_of_tasks
+
+from tests.runtime.conftest import build_runtime
+
+
+class TestLoadRecorder:
+    def test_records_load_during_execution(self):
+        rt = build_runtime()
+        recorder = LoadRecorder(rt.sim, rt.topology.all_hosts, period_s=0.5)
+        recorder.start()
+        afg = bag_of_tasks(n=8, cost=3.0)
+        table = SiteScheduler(k=1).schedule(afg, rt.federation_view())
+        rt.sim.run_until_complete(
+            rt.execute_process(afg, table, execute_payloads=False)
+        )
+        assert len(recorder.times) > 2
+        # some host must have shown load > 0 while tasks ran
+        assert any(max(s) > 0 for s in recorder.samples.values())
+        # all series same length as the time axis
+        assert all(len(s) == len(recorder.times)
+                   for s in recorder.samples.values())
+
+    def test_render_shared_scale_and_downsampling(self):
+        rt = build_runtime()
+        recorder = LoadRecorder(rt.sim, rt.topology.all_hosts, period_s=0.1)
+        recorder.start()
+        rt.topology.host("a1").set_bg_load(3.0)
+        rt.sim.run(until=20.0)  # 200 samples > width
+        text = recorder.render(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 hosts + time axis
+        for line in lines[:4]:
+            body = line.split("|")[1]
+            assert len(body) == 40
+        assert "samples)" in lines[-1]
+
+    def test_validation(self):
+        rt = build_runtime()
+        with pytest.raises(ValueError):
+            LoadRecorder(rt.sim, rt.topology.all_hosts, period_s=0.0)
+        with pytest.raises(ValueError):
+            LoadRecorder(rt.sim, [])
+        recorder = LoadRecorder(rt.sim, rt.topology.all_hosts)
+        recorder.start()
+        with pytest.raises(RuntimeError):
+            recorder.start()

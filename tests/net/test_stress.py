@@ -1,0 +1,92 @@
+"""Stress tests for the real-socket substrate."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net import CommunicationProxy
+from repro.runtime import LocalDataManager
+from repro.scheduler import AllocationTable, TaskAssignment
+from repro.workloads import reduction_tree
+
+
+class TestProxyStress:
+    def test_many_concurrent_channels(self):
+        """32 channels into one proxy, interleaved sends, no cross-talk."""
+        with CommunicationProxy("src") as src, CommunicationProxy("dst") as dst:
+            edges = [("a", "b", i, 0) for i in range(32)]
+            channels = {
+                e: src.open_channel("stress", e, dst.address, "dst")
+                for e in edges
+            }
+            for i, e in enumerate(edges):
+                channels[e].send({"edge": i, "payload": list(range(i))})
+            for i, e in enumerate(edges):
+                got = dst.receive(e, timeout_s=10.0)
+                assert got == {"edge": i, "payload": list(range(i))}
+            for channel in channels.values():
+                channel.close()
+            assert dst.setups_accepted == 32
+            assert dst.payloads_received == 32
+
+    def test_concurrent_senders_from_threads(self):
+        """Real threads hammering one destination proxy concurrently."""
+        with CommunicationProxy("dst") as dst:
+            n_senders, n_messages = 8, 25
+            errors = []
+
+            def sender(index):
+                try:
+                    with CommunicationProxy(f"src{index}") as src:
+                        edge = (f"s{index}", "d", 0, 0)
+                        channel = src.open_channel(
+                            "stress", edge, dst.address, "dst"
+                        )
+                        for m in range(n_messages):
+                            channel.send((index, m))
+                        channel.close()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=sender, args=(i,))
+                       for i in range(n_senders)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(20.0)
+            assert not errors
+            for i in range(n_senders):
+                edge = (f"s{i}", "d", 0, 0)
+                got = [dst.receive(edge, timeout_s=10.0)
+                       for _ in range(n_messages)]
+                # per-channel FIFO holds
+                assert got == [(i, m) for m in range(n_messages)]
+
+    def test_large_numpy_payload_roundtrip(self):
+        payload = np.random.default_rng(1).standard_normal((400, 400))
+        with CommunicationProxy("src") as src, CommunicationProxy("dst") as dst:
+            edge = ("a", "b", 0, 0)
+            channel = src.open_channel("big", edge, dst.address, "dst")
+            channel.send(payload)
+            got = dst.receive(edge, timeout_s=20.0)
+            assert np.array_equal(got, payload)
+            assert channel.bytes_sent > payload.nbytes
+            channel.close()
+
+
+class TestRealReductionTree:
+    def test_15_task_reduction_over_sockets(self):
+        """A full in-tree of variadic merges runs over real TCP."""
+        afg = reduction_tree(leaves=8, leaf_cost=0.01, inner_cost=0.01)
+        table = AllocationTable(afg.name, scheduler="manual")
+        hosts = [f"n{i}" for i in range(4)]
+        for i, task in enumerate(afg.topological_order()):
+            table.assign(TaskAssignment(task, "local", (hosts[i % 4],), 0.01))
+        report = LocalDataManager(timeout_s=30.0).execute(afg, table)
+        assert report.channels == len(afg.edges) == 14
+        root = [t for t in report.outputs][0]
+        (value,) = report.outputs[root]
+        # the root receives a nested pair-merge of all 8 leaf tokens
+        text = str(value)
+        assert text.count("source") == 8

@@ -1,0 +1,106 @@
+"""Property-based tests: DSM sequential consistency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.dsm import DSM
+
+from tests.runtime.conftest import build_runtime
+
+HOSTS = ["a1", "a2", "b1", "b2"]
+
+# an op is (kind, host_index, value)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "fetch_add"]),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(ops)
+@settings(max_examples=50, deadline=None)
+def test_single_threaded_program_order_consistency(op_list):
+    """A single process issuing ops sees exactly its own program order:
+    every read returns the most recently written value."""
+    rt = build_runtime()
+    dsm = DSM(rt.sim, rt.topology.network)
+    dsm.allocate("x", "a1", initial=0)
+
+    def program():
+        expected = 0
+        for kind, host_index, value in op_list:
+            host = HOSTS[host_index]
+            if kind == "write":
+                yield from dsm.write("x", value, host)
+                expected = value
+            elif kind == "fetch_add":
+                got = yield from dsm.fetch_add("x", value, host)
+                expected = expected + value
+                assert got == expected
+            else:
+                got = yield from dsm.read("x", host)
+                assert got == expected, (
+                    f"stale read: got {got}, expected {expected}"
+                )
+        return expected
+
+    final = rt.sim.run_until_complete(rt.sim.process(program()))
+
+    def check_final():
+        value = yield from dsm.read("x", "b2")
+        return value
+
+    assert rt.sim.run_until_complete(rt.sim.process(check_final())) == final
+
+
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_concurrent_fetch_add_is_linearizable(host_indices):
+    """N concurrent unit increments from arbitrary hosts total exactly N."""
+    rt = build_runtime()
+    dsm = DSM(rt.sim, rt.topology.network)
+    dsm.allocate("counter", "a2", initial=0)
+
+    def incrementer(host):
+        yield from dsm.fetch_add("counter", 1, host)
+
+    procs = [rt.sim.process(incrementer(HOSTS[i])) for i in host_indices]
+
+    def waiter():
+        for p in procs:
+            yield p
+        value = yield from dsm.read("counter", "a1")
+        return value
+
+    total = rt.sim.run_until_complete(rt.sim.process(waiter()))
+    assert total == len(host_indices)
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_stats_accounting_consistent(op_list):
+    rt = build_runtime()
+    dsm = DSM(rt.sim, rt.topology.network)
+    dsm.allocate("x", "a1", initial=0)
+
+    def program():
+        for kind, host_index, value in op_list:
+            host = HOSTS[host_index]
+            if kind == "write":
+                yield from dsm.write("x", value, host)
+            elif kind == "fetch_add":
+                yield from dsm.fetch_add("x", value, host)
+            else:
+                yield from dsm.read("x", host)
+
+    rt.sim.run_until_complete(rt.sim.process(program()))
+    reads = sum(1 for k, _, _ in op_list if k == "read")
+    assert dsm.stats.reads == reads
+    assert dsm.stats.read_hits + dsm.stats.read_misses == dsm.stats.reads
+    writes = sum(1 for k, _, _ in op_list if k in ("write", "fetch_add"))
+    assert dsm.stats.writes == writes

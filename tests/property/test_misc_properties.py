@@ -1,0 +1,107 @@
+"""Property-based tests: allocation tables, admission order, tables, viz."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler import AllocationTable, TaskAssignment
+
+names = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=8)
+
+assignments = st.lists(
+    st.tuples(
+        names,  # task id (deduped below)
+        names,  # site
+        st.lists(names, min_size=1, max_size=4, unique=True),  # hosts
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=20,
+)
+
+
+@given(assignments, names)
+@settings(max_examples=80, deadline=None)
+def test_allocation_table_dict_roundtrip(raw, app_name):
+    table = AllocationTable(app_name, scheduler="prop")
+    seen = set()
+    for task_id, site, hosts, predicted in raw:
+        if task_id in seen:
+            continue
+        seen.add(task_id)
+        table.assign(TaskAssignment(task_id, site, tuple(hosts), predicted))
+    restored = AllocationTable.from_dict(table.to_dict())
+    assert restored.to_dict() == table.to_dict()
+    assert len(restored) == len(table)
+    for task_id in seen:
+        assert restored.get(task_id).hosts == table.get(task_id).hosts
+
+
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                max_size=10))
+@settings(max_examples=30, deadline=None)
+def test_admission_order_is_priority_then_fifo(priorities):
+    from repro.runtime import AdmissionQueue
+    from tests.runtime.conftest import build_runtime, chain_afg
+
+    rt = build_runtime()
+    users_db = rt.repositories["alpha"].users
+    for p in sorted(set(priorities)):
+        users_db.add_user(f"u{p}", "x", priority=p)
+
+    queue = AdmissionQueue(rt, max_concurrent=1)
+    signals = []
+    for i, p in enumerate(priorities):
+        afg = chain_afg(n=1, name=f"app{i:02d}")
+        signals.append(queue.submit(afg, f"u{p}"))
+
+    def waiter():
+        for s in signals:
+            yield s
+
+    rt.sim.run_until_complete(rt.sim.process(waiter()))
+
+    # expected: sort by (-priority, submission index)
+    expected = [
+        f"app{i:02d}"
+        for i, _p in sorted(enumerate(priorities),
+                            key=lambda pair: (-pair[1], pair[0]))
+    ]
+    assert queue.admitted_order == expected
+
+
+row_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(alphabet=string.printable.strip(), max_size=12),
+)
+
+
+@given(st.lists(st.dictionaries(names, row_values, min_size=1, max_size=5),
+                min_size=0, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_format_table_never_crashes_and_is_rectangular(rows):
+    from repro.metrics import format_table
+
+    text = format_table(rows, title="prop")
+    lines = text.splitlines()
+    assert lines[0] == "prop"
+    if rows:
+        # header + separator + one line per row
+        assert len(lines) == 2 + 1 + len(rows)
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1, "all table lines must be equally wide"
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=0, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_sparkline_length_matches_samples(samples):
+    from repro.viz import workload_sparkline
+
+    line = workload_sparkline(samples, label="h")
+    if samples:
+        body = line.split("|")[1]
+        assert len(body) == len(samples)

@@ -1,0 +1,108 @@
+"""Tests: lossy-LAN echo detection and the diurnal load generator."""
+
+import math
+
+import pytest
+
+from repro.runtime import RuntimeConfig
+from repro.sim import DiurnalLoad, Host, HostSpec, Simulator
+
+from tests.runtime.conftest import build_runtime
+
+
+class TestEchoLoss:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(echo_loss_prob=1.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(suspicion_threshold=0)
+
+    def test_lossy_lan_with_threshold_one_raises_false_positives(self):
+        rt = build_runtime(echo_period_s=1.0, echo_loss_prob=0.3,
+                           suspicion_threshold=1)
+        rt.start_monitoring()
+        rt.sim.run(until=60.0)  # nobody actually fails
+        false_positives = sum(
+            gm.false_positives for gm in rt.group_managers.values()
+        )
+        assert false_positives > 0
+        # a false down is followed by recovery at the next good echo
+        assert rt.stats.recovery_notifications > 0
+
+    def test_suspicion_threshold_suppresses_false_positives(self):
+        def count_false_positives(threshold):
+            rt = build_runtime(echo_period_s=1.0, echo_loss_prob=0.3,
+                               suspicion_threshold=threshold, seed=7)
+            rt.start_monitoring()
+            rt.sim.run(until=120.0)
+            return sum(gm.false_positives for gm in rt.group_managers.values())
+
+        naive = count_false_positives(1)
+        guarded = count_false_positives(4)
+        assert guarded < naive
+        # with p=0.3 and threshold 4, P(4 consecutive losses) < 1%/round
+        assert guarded <= max(1, naive // 4)
+
+    def test_real_failure_still_detected_under_loss(self):
+        rt = build_runtime(echo_period_s=1.0, echo_loss_prob=0.2,
+                           suspicion_threshold=3)
+        rt.start_monitoring()
+        rt.sim.call_at(10.0, lambda: rt.topology.host("a1").fail())
+        rt.sim.run(until=30.0)
+        downs = [e for e in rt.stats.detection_log
+                 if e[1] == "a1" and e[2] == "down"]
+        assert downs
+        # the declaring echo must come after the crash (earlier lost
+        # packets may legitimately pre-charge the suspicion counter)
+        assert downs[-1][0] >= 10.0
+        assert not rt.repositories["alpha"].resources.get("a1").up
+
+
+class TestDiurnalLoad:
+    def test_day_night_cycle(self):
+        sim = Simulator(seed=1)
+        host = Host(sim, HostSpec(name="h"))
+        DiurnalLoad(base=0.1, amplitude=2.0, day_length_s=100.0,
+                    jitter=0.0, period_s=1.0).start(sim, host)
+        samples = {}
+        for t in (25.0, 75.0):  # mid-"day" vs mid-"night"
+            sim.call_at(t + 0.5, lambda t=t: samples.__setitem__(t, host.bg_load))
+        sim.run(until=100.0)
+        assert samples[25.0] == pytest.approx(2.1, abs=0.1)  # sin peak
+        assert samples[75.0] == pytest.approx(0.1, abs=0.01)  # clamped night
+
+    def test_phase_shifts_the_peak(self):
+        def peak_time(phase):
+            sim = Simulator(seed=2)
+            host = Host(sim, HostSpec(name="h"))
+            DiurnalLoad(base=0.0, amplitude=1.0, day_length_s=40.0,
+                        phase_s=phase, jitter=0.0, period_s=0.5).start(sim, host)
+            best = [0.0, 0.0]
+            for i in range(80):
+                t = i * 0.5 + 0.25
+                def probe(t=t):
+                    if host.bg_load > best[1]:
+                        best[0], best[1] = t, host.bg_load
+                sim.call_at(t, probe)
+            sim.run(until=40.0)
+            return best[0]
+
+        assert abs(peak_time(0.0) - 10.0) <= 1.0
+        assert abs(peak_time(10.0) - 20.0) <= 1.0
+
+    def test_never_negative_with_jitter(self):
+        sim = Simulator(seed=3)
+        host = Host(sim, HostSpec(name="h"))
+        DiurnalLoad(base=0.0, amplitude=0.2, day_length_s=10.0,
+                    jitter=0.5, period_s=0.1).start(sim, host)
+        lows = []
+        for i in range(200):
+            sim.call_at(i * 0.1 + 0.05, lambda: lows.append(host.bg_load))
+        sim.run(until=20.0)
+        assert min(lows) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(base=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalLoad(day_length_s=0.0)

@@ -1,0 +1,123 @@
+"""Tests: parallel-task execution semantics and estimate/realised agreement."""
+
+import pytest
+
+from repro.afg import (
+    ApplicationFlowGraph,
+    ComputationMode,
+    TaskNode,
+    TaskProperties,
+)
+from repro.scheduler import SiteScheduler, estimate_schedule
+from repro.tasklib import default_registry
+
+from tests.runtime.conftest import build_runtime, chain_afg
+
+
+def parallel_afg(n_nodes=2, scale=1.0):
+    afg = ApplicationFlowGraph("par")
+    afg.add_task(TaskNode(id="gen", task_type="matrix.generate_system",
+                          n_out_ports=2,
+                          properties=TaskProperties(workload_scale=scale)))
+    afg.add_task(TaskNode(
+        id="lu", task_type="matrix.lu_decomposition", n_in_ports=1,
+        n_out_ports=1,
+        properties=TaskProperties(mode=ComputationMode.PARALLEL,
+                                  n_nodes=n_nodes, workload_scale=scale)))
+    afg.connect("gen", "lu", src_port=0, size_mb=0.5)
+    return afg
+
+
+class TestParallelExecution:
+    def test_parallel_slices_run_concurrently(self):
+        """A 2-node parallel task takes ~span time, not 2x."""
+        rt = build_runtime(
+            site_hosts={"alpha": [("h1", 1.0, 256), ("h2", 1.0, 256)]}
+        )
+        afg = parallel_afg(n_nodes=2, scale=1.0)
+        table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+        assert set(table.get("lu").hosts) == {"h1", "h2"}
+        result = rt.sim.run_until_complete(
+            rt.execute_process(afg, table, execute_payloads=False)
+        )
+        sig = default_registry().get("matrix.lu_decomposition")
+        span = sig.span_work(1.0, 2)  # per-node slice on speed-1 hosts
+        record = result.records["lu"]
+        assert record.measured_time == pytest.approx(span, rel=0.01)
+
+    def test_parallel_speedup_vs_sequential(self):
+        def makespan(n_nodes):
+            rt = build_runtime(
+                site_hosts={"alpha": [(f"h{i}", 1.0, 256) for i in range(4)]}
+            )
+            afg = parallel_afg(n_nodes=n_nodes, scale=1.0)
+            if n_nodes == 1:
+                afg.replace_task(afg.task("lu").with_properties(
+                    mode=ComputationMode.SEQUENTIAL, n_nodes=1))
+            table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+            result = rt.sim.run_until_complete(
+                rt.execute_process(afg, table, execute_payloads=False)
+            )
+            return result.records["lu"].measured_time
+
+        seq = makespan(1)
+        par2 = makespan(2)
+        par4 = makespan(4)
+        assert par2 < seq
+        assert par4 < par2
+        # Amdahl-style overhead: sub-linear speedup
+        assert par4 > seq / 4
+
+    def test_group_member_failure_restarts_whole_task(self):
+        rt = build_runtime(
+            site_hosts={"alpha": [("h1", 1.0, 256), ("h2", 1.0, 256),
+                                  ("h3", 1.0, 256), ("h4", 1.0, 256)]}
+        )
+        afg = parallel_afg(n_nodes=2, scale=2.0)
+        table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+        victim = table.get("lu").hosts[0]
+        proc = rt.execute_process(afg, table, execute_payloads=False)
+        # fail one member while the parallel slices run; "gen" takes ~0.8s
+        rt.sim.call_at(5.0, lambda: rt.topology.host(victim).fail())
+        result = rt.sim.run_until_complete(proc)
+        record = result.records["lu"]
+        assert record.attempts == 2
+        assert victim not in record.hosts
+        assert len(record.hosts) == 2  # still a 2-node group
+
+
+class TestEstimateAgreement:
+    def test_estimate_matches_realised_for_quiet_chain(self):
+        """No contention, no noise: the forward-pass estimate must match
+        the simulated runtime's makespan to within transfer latencies."""
+        rt = build_runtime()
+        afg = chain_afg(n=4, scale=2.0, edge_mb=1.0)
+        view = rt.federation_view()
+        table = SiteScheduler(k=1).schedule(afg, view)
+
+        def xfer(src, dst, mb):
+            if src.hosts[0] == dst.hosts[0]:
+                return 0.0
+            return view.site_transfer_time(src.site, dst.site, mb)
+
+        estimate = estimate_schedule(afg, table, xfer)
+        result = rt.sim.run_until_complete(
+            rt.execute_process(afg, table, execute_payloads=False)
+        )
+        assert result.makespan == pytest.approx(estimate.makespan, rel=0.05)
+
+    def test_contention_makes_realised_exceed_estimate(self):
+        """Two identical apps on one 1-host site: each realised makespan
+        exceeds its own single-app estimate (processor sharing)."""
+        rt = build_runtime(site_hosts={"alpha": [("only", 1.0, 256)]})
+        view = rt.federation_view()
+        afg_a = chain_afg(n=3, scale=2.0, name="a")
+        afg_b = chain_afg(n=3, scale=2.0, name="b")
+        table_a = SiteScheduler(k=0).schedule(afg_a, view)
+        table_b = SiteScheduler(k=0).schedule(afg_b, view)
+        est = estimate_schedule(afg_a, table_a, lambda s, d, mb: 0.0)
+        proc_a = rt.execute_process(afg_a, table_a, execute_payloads=False)
+        proc_b = rt.execute_process(afg_b, table_b, execute_payloads=False)
+        result_a = rt.sim.run_until_complete(proc_a)
+        rt.sim.run_until_complete(proc_b)
+        assert result_a.makespan > est.makespan * 1.5

@@ -1,0 +1,48 @@
+"""Shared fixtures for scheduler tests: a two-site federation."""
+
+import pytest
+
+from repro.repository import SiteRepository
+from repro.scheduler import FederationView
+from repro.sim import TopologyBuilder
+from repro.tasklib import default_registry
+
+
+def build_federation(
+    site_hosts=None,
+    wan_latency_s=0.05,
+    wan_bandwidth_mbps=1.0,
+    lan_latency_s=0.001,
+    lan_bandwidth_mbps=10.0,
+    local_site="alpha",
+    seed=0,
+):
+    """Topology + bootstrapped repositories + FederationView.
+
+    ``site_hosts``: {site: [(host, speed, memory_mb), ...]}.  Defaults
+    to two heterogeneous sites of three hosts each.
+    """
+    if site_hosts is None:
+        site_hosts = {
+            "alpha": [("a-slow", 1.0, 256), ("a-mid", 2.0, 256), ("a-fast", 4.0, 256)],
+            "beta": [("b-slow", 1.0, 256), ("b-mid", 2.0, 256), ("b-fast", 4.0, 256)],
+        }
+    builder = (
+        TopologyBuilder(seed=seed)
+        .lan_defaults(lan_latency_s, lan_bandwidth_mbps)
+        .wan_defaults(wan_latency_s, wan_bandwidth_mbps)
+    )
+    for site, hosts in site_hosts.items():
+        builder.site(site, hosts=hosts)
+    topo = builder.build()
+    repos = {
+        name: SiteRepository.bootstrap(site, default_registry())
+        for name, site in topo.sites.items()
+    }
+    view = FederationView.from_topology(topo, repos, local_site=local_site)
+    return topo, repos, view
+
+
+@pytest.fixture
+def federation():
+    return build_federation()

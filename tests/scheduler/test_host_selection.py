@@ -1,0 +1,142 @@
+"""Tests for the Figure 3 host-selection algorithm."""
+
+import pytest
+
+from repro.afg import (
+    ApplicationFlowGraph,
+    ComputationMode,
+    TaskNode,
+    TaskProperties,
+)
+from repro.scheduler import PredictionModel, select_hosts
+from repro.scheduler.host_selection import candidate_hosts
+
+from tests.scheduler.conftest import build_federation
+
+
+def single_task_afg(task_type="generic.source", **props):
+    afg = ApplicationFlowGraph("one")
+    sig_ports = {
+        "generic.source": (0, 1),
+        "generic.compute": (1, 1),
+        "matrix.lu_decomposition": (1, 1),
+    }[task_type]
+    afg.add_task(
+        TaskNode(
+            id="t",
+            task_type=task_type,
+            n_in_ports=sig_ports[0],
+            n_out_ports=sig_ports[1],
+            properties=TaskProperties(**props),
+        )
+    )
+    return afg
+
+
+def test_selects_fastest_host_when_idle(federation):
+    _, repos, _ = federation
+    afg = single_task_afg()
+    bids = select_hosts(afg, repos["alpha"])
+    assert bids["t"].hosts == ("a-fast",)
+    assert bids["t"].site == "alpha"
+
+
+def test_load_shifts_selection():
+    topo, repos, view = build_federation()
+    # make the fast host heavily loaded: 1.0/4 speed-equivalent < 2.0 idle
+    repos["alpha"].resources.update_workload("a-fast", load=8.0,
+                                             available_memory_mb=256, time=0.0)
+    bids = select_hosts(single_task_afg(), repos["alpha"])
+    assert bids["t"].hosts == ("a-mid",)
+
+
+def test_preferred_machine_honoured(federation):
+    _, repos, _ = federation
+    afg = single_task_afg(preferred_machine="a-slow")
+    bids = select_hosts(afg, repos["alpha"])
+    assert bids["t"].hosts == ("a-slow",)
+
+
+def test_preferred_machine_not_at_site_means_no_bid(federation):
+    _, repos, _ = federation
+    afg = single_task_afg(preferred_machine="b-fast")  # host of site beta
+    bids = select_hosts(afg, repos["alpha"])
+    assert "t" not in bids
+
+
+def test_preferred_machine_type_filters(federation):
+    _, repos, _ = federation
+    # default HostSpec arch/os is sparc/solaris; "SUN solaris" matches via alias
+    afg = single_task_afg(preferred_machine_type="SUN solaris")
+    bids = select_hosts(afg, repos["alpha"])
+    assert bids["t"].hosts == ("a-fast",)
+    afg2 = single_task_afg(preferred_machine_type="intel linux")
+    assert "t" not in select_hosts(afg2, repos["alpha"])
+
+
+def test_down_host_excluded(federation):
+    _, repos, _ = federation
+    repos["alpha"].resources.mark_down("a-fast", time=0.0)
+    bids = select_hosts(single_task_afg(), repos["alpha"])
+    assert bids["t"].hosts == ("a-mid",)
+
+
+def test_constraints_db_excludes_hosts(federation):
+    _, repos, _ = federation
+    repos["alpha"].constraints.remove_host("a-fast")
+    bids = select_hosts(single_task_afg(), repos["alpha"])
+    assert bids["t"].hosts == ("a-mid",)
+
+
+def test_parallel_task_gets_host_group(federation):
+    _, repos, _ = federation
+    afg = single_task_afg(
+        task_type="matrix.lu_decomposition",
+        mode=ComputationMode.PARALLEL,
+        n_nodes=2,
+    )
+    bids = select_hosts(afg, repos["alpha"])
+    assert set(bids["t"].hosts) == {"a-fast", "a-mid"}  # two fastest predictions
+    assert len(bids["t"].hosts) == 2
+    # group time is the slower member's slice
+    single = select_hosts(single_task_afg(task_type="matrix.lu_decomposition"),
+                          repos["alpha"])
+    assert bids["t"].predicted_time > 0
+
+
+def test_parallel_task_too_wide_for_site_means_no_bid(federation):
+    _, repos, _ = federation
+    afg = single_task_afg(
+        task_type="matrix.lu_decomposition",
+        mode=ComputationMode.PARALLEL,
+        n_nodes=10,
+    )
+    assert select_hosts(afg, repos["alpha"]) == {}
+
+
+def test_bids_cover_all_runnable_tasks(federation):
+    _, repos, _ = federation
+    afg = ApplicationFlowGraph("two")
+    afg.add_task(TaskNode(id="a", task_type="generic.source", n_out_ports=1))
+    afg.add_task(TaskNode(id="b", task_type="generic.compute",
+                          n_in_ports=1, n_out_ports=1))
+    afg.connect("a", "b")
+    bids = select_hosts(afg, repos["alpha"])
+    assert set(bids) == {"a", "b"}
+
+
+def test_predicted_time_matches_model(federation):
+    _, repos, _ = federation
+    model = PredictionModel()
+    bids = select_hosts(single_task_afg(), repos["alpha"], model)
+    rec = repos["alpha"].resources.get("a-fast")
+    expected = model.predict("generic.source", 1.0, 1, rec,
+                             repos["alpha"].task_perf)
+    assert bids["t"].predicted_time == pytest.approx(expected)
+
+
+def test_candidate_hosts_sorted_and_filtered(federation):
+    _, repos, _ = federation
+    task = single_task_afg().task("t")
+    names = [r.name for r in candidate_hosts(task, repos["alpha"])]
+    assert names == ["a-fast", "a-mid", "a-slow"]

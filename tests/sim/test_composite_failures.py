@@ -1,0 +1,92 @@
+"""Tests: exception propagation through AllOf/AnyOf composites."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator, Timeout
+
+
+def failing_process(sim, delay, message):
+    def gen():
+        yield Timeout(delay)
+        raise RuntimeError(message)
+
+    return sim.process(gen())
+
+
+def ok_process(sim, delay, value):
+    def gen():
+        yield Timeout(delay)
+        return value
+
+    return sim.process(gen())
+
+
+class TestAllOfFailures:
+    def test_failing_child_raises_in_waiter(self):
+        sim = Simulator()
+
+        def waiter():
+            try:
+                yield AllOf([
+                    ok_process(sim, 1.0, "a"),
+                    failing_process(sim, 2.0, "boom"),
+                    ok_process(sim, 9.0, "c"),
+                ])
+            except RuntimeError as exc:
+                return (str(exc), sim.now)
+
+        message, t = sim.run_until_complete(sim.process(waiter()))
+        assert message == "boom"
+        assert t == pytest.approx(2.0)  # fails fast, not at t=9
+
+    def test_failed_signal_child(self):
+        sim = Simulator()
+        sig = sim.signal("s")
+        sim.call_at(1.0, lambda: sig.fail(ValueError("bad")))
+
+        def waiter():
+            try:
+                yield AllOf([Timeout(5.0), sig])
+            except ValueError:
+                return "caught"
+
+        assert sim.run_until_complete(sim.process(waiter())) == "caught"
+
+    def test_all_successful_still_works(self):
+        sim = Simulator()
+
+        def waiter():
+            values = yield AllOf([ok_process(sim, 1.0, 1),
+                                  ok_process(sim, 2.0, 2)])
+            return values
+
+        assert sim.run_until_complete(sim.process(waiter())) == [1, 2]
+
+
+class TestAnyOfFailures:
+    def test_first_child_failing_propagates(self):
+        sim = Simulator()
+
+        def waiter():
+            try:
+                yield AnyOf([
+                    failing_process(sim, 1.0, "first"),
+                    ok_process(sim, 5.0, "slow"),
+                ])
+            except RuntimeError as exc:
+                return str(exc)
+
+        assert sim.run_until_complete(sim.process(waiter())) == "first"
+
+    def test_success_before_failure_wins(self):
+        sim = Simulator()
+
+        def waiter():
+            index, value = yield AnyOf([
+                ok_process(sim, 1.0, "fast"),
+                failing_process(sim, 5.0, "late-boom"),
+            ])
+            return (index, value)
+
+        index, value = sim.run_until_complete(sim.process(waiter()))
+        assert (index, value) == (0, "fast")

@@ -1,0 +1,346 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_at_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, lambda: seen.append(("b", sim.now)))
+    sim.call_at(1.0, lambda: seen.append(("a", sim.now)))
+    sim.call_at(9.0, lambda: seen.append(("c", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+
+
+def test_ties_broken_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    for tag in "abc":
+        sim.call_at(2.0, lambda t=tag: seen.append(t))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: seen.append(1))
+    sim.call_at(10.0, lambda: seen.append(10))
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.call_at(3.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_process_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(4.0)
+        return sim.now
+
+    p = sim.process(proc())
+    result = sim.run_until_complete(p)
+    assert result == 4.0
+
+
+def test_process_return_value_delivered_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1.0)
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    p = sim.process(parent())
+    assert sim.run_until_complete(p) == 43
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield Timeout(1.0, value="payload")
+        return got
+
+    assert sim.run_until_complete(sim.process(proc())) == "payload"
+
+
+def test_signal_wakes_all_waiters_with_value():
+    sim = Simulator()
+    sig = sim.signal("go")
+    results = []
+
+    def waiter(tag):
+        value = yield sig
+        results.append((tag, value, sim.now))
+
+    sim.process(waiter("w1"))
+    sim.process(waiter("w2"))
+    sim.call_at(3.0, lambda: sig.succeed("data"))
+    sim.run()
+    assert results == [("w1", "data", 3.0), ("w2", "data", 3.0)]
+
+
+def test_signal_fires_for_late_subscriber():
+    sim = Simulator()
+    sig = sim.signal()
+    sig.succeed(7)
+
+    def waiter():
+        value = yield sig
+        return value
+
+    assert sim.run_until_complete(sim.process(waiter())) == 7
+
+
+def test_signal_double_fire_rejected():
+    sim = Simulator()
+    sig = sim.signal()
+    sig.succeed()
+    with pytest.raises(SimulationError):
+        sig.succeed()
+
+
+def test_signal_fail_raises_in_waiter():
+    sim = Simulator()
+    sig = sim.signal()
+
+    def waiter():
+        try:
+            yield sig
+        except ValueError as exc:
+            return f"caught:{exc}"
+
+    p = sim.process(waiter())
+    sim.call_at(1.0, lambda: sig.fail(ValueError("boom")))
+    assert sim.run_until_complete(p) == "caught:boom"
+
+
+def test_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("kaput")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run()
+
+
+def test_process_exception_observed_by_waiter_not_reraised():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise RuntimeError("kaput")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except RuntimeError:
+            return "handled"
+
+    p = sim.process(parent())
+    assert sim.run_until_complete(p) == "handled"
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf([Timeout(1.0, "a"), Timeout(5.0, "b"), Timeout(3.0, "c")])
+        return (values, sim.now)
+
+    values, t = sim.run_until_complete(sim.process(proc()))
+    assert values == ["a", "b", "c"]
+    assert t == 5.0
+
+
+def test_all_of_empty_completes_immediately():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf([])
+        return values
+
+    assert sim.run_until_complete(sim.process(proc())) == []
+
+
+def test_any_of_fires_on_first_child():
+    sim = Simulator()
+
+    def proc():
+        index, value = yield AnyOf([Timeout(9.0, "slow"), Timeout(2.0, "fast")])
+        return (index, value, sim.now)
+
+    assert sim.run_until_complete(sim.process(proc())) == (1, "fast", 2.0)
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, sim.now)
+
+    p = sim.process(victim())
+    sim.call_at(5.0, lambda: p.interrupt("load-threshold"))
+    assert sim.run_until_complete(p) == ("interrupted", "load-threshold", 5.0)
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(1.0)
+        return "done"
+
+    p = sim.process(quick())
+    sim.run()
+    p.interrupt("late")
+    sim.run()
+    assert p.value == "done"
+
+
+def test_uninterrupted_timeout_delivers_normally():
+    sim = Simulator()
+    resumed_values = []
+
+    def victim():
+        try:
+            value = yield Timeout(10.0, "original")
+            resumed_values.append(value)
+        except Interrupt:  # pragma: no cover - not expected here
+            resumed_values.append("interrupted")
+
+    sim.process(victim())
+    sim.run()
+    assert resumed_values == ["original"]
+
+
+def test_interrupt_discards_pending_wait():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield Timeout(10.0, "original")
+            log.append("original-delivered")
+        except Interrupt:
+            got = yield Timeout(5.0, "post-interrupt")
+            log.append(got)
+
+    p = sim.process(victim())
+    sim.call_at(3.0, lambda: p.interrupt())
+    sim.run()
+    assert log == ["post-interrupt"]
+    # original timeout at t=10 must not have resumed the process a second time
+    assert sim.now >= 10.0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_yielding_non_waitable_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError, match="non-waitable"):
+        sim.run_until_complete(sim.process(bad()))
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a1 = Simulator(seed=123).rng("alpha").random(5)
+    a2 = Simulator(seed=123).rng("alpha").random(5)
+    b = Simulator(seed=123).rng("beta").random(5)
+    assert list(a1) == list(a2)
+    assert list(a1) != list(b)
+
+
+def test_rng_stream_cached_per_name():
+    sim = Simulator(seed=1)
+    assert sim.rng("x") is sim.rng("x")
+
+
+def test_trace_disabled_by_default_and_enabled_on_request():
+    sim = Simulator()
+    sim.trace("hello", a=1)
+    assert sim.trace_log == []
+    sim.enable_trace()
+    sim.call_at(2.0, lambda: sim.trace("evt", k="v"))
+    sim.run()
+    assert sim.trace_log == [(2.0, "evt", {"k": "v"})]
+
+
+def test_run_until_complete_raises_if_unfinished():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield Timeout(1.0)
+
+    p = sim.process(forever())
+    with pytest.raises(SimulationError, match="did not complete"):
+        sim.run_until_complete(p, limit=10.0)
+
+
+def test_nested_all_any_composition():
+    sim = Simulator()
+
+    def proc():
+        index, value = yield AnyOf(
+            [
+                AllOf([Timeout(2.0, "x"), Timeout(4.0, "y")]),
+                Timeout(10.0, "slow"),
+            ]
+        )
+        return (index, value, sim.now)
+
+    index, value, t = sim.run_until_complete(sim.process(proc()))
+    assert index == 0
+    assert value == ["x", "y"]
+    assert t == 4.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

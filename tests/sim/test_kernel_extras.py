@@ -1,0 +1,80 @@
+"""Tests: kernel stop_when and explicit host-selection ordering."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+
+
+class TestStopWhen:
+    def test_stop_when_halts_mid_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.call_at(float(t), lambda t=t: fired.append(t))
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [1, 2, 3]
+        # remaining events still pending; a further run delivers them
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+    def test_run_until_complete_survives_infinite_background(self):
+        sim = Simulator()
+
+        def forever():
+            while True:
+                yield Timeout(1.0)
+
+        def quick():
+            yield Timeout(5.0)
+            return "done"
+
+        sim.process(forever())
+        assert sim.run_until_complete(sim.process(quick())) == "done"
+        assert sim.now == pytest.approx(5.0)
+
+    def test_stop_when_with_until(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 10):
+            sim.call_at(float(t), lambda t=t: fired.append(t))
+        sim.run(until=4.5, stop_when=lambda: False)
+        assert fired == [1, 2, 3, 4]
+        assert sim.now == pytest.approx(4.5)
+
+
+class TestSelectHostsOrdering:
+    def test_explicit_order_changes_commitment_sequence(self):
+        from repro.scheduler.host_selection import select_hosts
+        from repro.workloads import bag_of_tasks
+        from tests.scheduler.conftest import build_federation
+
+        # gap small enough that a second co-resident task makes the
+        # slow host preferable (4x would make doubling-up optimal)
+        _, repos, _ = build_federation(
+            site_hosts={"alpha": [("fast", 1.5, 256), ("slow", 1.0, 256)]}
+        )
+        afg = bag_of_tasks(n=2, cost=2.0, heterogeneity=0.5, seed=1)
+        ids = sorted(t.id for t in afg)
+        # default (level) order considers the costlier task first;
+        # the explicit ascending-id order starts with the cheaper one
+        default_bids = select_hosts(afg, repos["alpha"])
+        reversed_bids = select_hosts(afg, repos["alpha"], order=list(ids))
+        # whichever task is considered first claims the fast host
+        first_default = min(default_bids.values(),
+                            key=lambda b: b.predicted_time)
+        assert {b.hosts[0] for b in default_bids.values()} == {"fast", "slow"}
+        assert {b.hosts[0] for b in reversed_bids.values()} == {"fast", "slow"}
+        # ordering flips which task got the fast host (costs differ)
+        by_task_default = {t: default_bids[t].hosts[0] for t in ids}
+        by_task_reversed = {t: reversed_bids[t].hosts[0] for t in ids}
+        assert by_task_default != by_task_reversed
+
+    def test_bad_order_rejected(self):
+        from repro.scheduler.host_selection import select_hosts
+        from repro.workloads import bag_of_tasks
+        from tests.scheduler.conftest import build_federation
+
+        _, repos, _ = build_federation()
+        afg = bag_of_tasks(n=3, cost=1.0)
+        with pytest.raises(ValueError, match="permutation"):
+            select_hosts(afg, repos["alpha"], order=["job000"])

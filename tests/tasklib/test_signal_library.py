@@ -1,0 +1,92 @@
+"""Tests for the signal-processing task library."""
+
+import numpy as np
+import pytest
+
+from repro.tasklib import default_registry
+from repro.tasklib.signal import _TONES
+
+
+class TestSignalLibrary:
+    def test_registered_in_default_registry(self):
+        reg = default_registry()
+        assert "signal" in reg.libraries()
+        assert reg.has("signal.synthesize")
+        assert reg.get("signal.spectrum").parallelizable
+
+    def test_synthesize_deterministic_and_sized(self):
+        reg = default_registry()
+        (a,) = reg.get("signal.synthesize").run([], scale=0.5)
+        (b,) = reg.get("signal.synthesize").run([], scale=0.5)
+        assert np.array_equal(a, b)
+        (big,) = reg.get("signal.synthesize").run([], scale=1.0)
+        assert len(big) > len(a)
+
+    def test_detection_chain_recovers_injected_tones(self):
+        """synthesize -> spectrum -> detect_peaks finds the true tones."""
+        reg = default_registry()
+        (noisy,) = reg.get("signal.synthesize").run([], scale=1.0)
+        (spec,) = reg.get("signal.spectrum").run([noisy])
+        (peaks,) = reg.get("signal.detect_peaks").run([spec])
+        assert len(peaks) >= len(_TONES)
+        for tone in _TONES:
+            assert min(abs(peaks - tone)) < 0.01, f"tone {tone} not detected"
+
+    def test_lowpass_attenuates_high_tone(self):
+        """After the 0.2 cyc/sample low-pass, the 0.31 tone disappears."""
+        reg = default_registry()
+        (noisy,) = reg.get("signal.synthesize").run([], scale=1.0)
+        (filtered,) = reg.get("signal.lowpass_filter").run([noisy])
+        (spec,) = reg.get("signal.spectrum").run([filtered])
+        freqs, psd = spec[0], spec[1]
+        low_band = psd[np.abs(freqs - 0.05) < 0.01].max()
+        high_band = psd[np.abs(freqs - 0.31) < 0.01].max()
+        assert low_band > 50 * high_band
+
+    def test_correlate_frames_finds_zero_lag_for_identical(self):
+        reg = default_registry()
+        (sig,) = reg.get("signal.synthesize").run([], scale=0.25)
+        ((lag, value),) = reg.get("signal.correlate_frames").run([sig, sig])
+        assert lag == 0
+        assert value == pytest.approx(1.0, abs=0.01)
+
+    def test_correlate_frames_detects_shift(self):
+        reg = default_registry()
+        (sig,) = reg.get("signal.synthesize").run([], scale=0.25)
+        shifted = np.roll(sig, 37)
+        ((lag, _),) = reg.get("signal.correlate_frames").run([sig, shifted])
+        assert abs(abs(lag) - 37) <= 1
+
+    def test_decimate_shrinks_by_eight(self):
+        reg = default_registry()
+        (sig,) = reg.get("signal.synthesize").run([], scale=0.5)
+        (small,) = reg.get("signal.decimate").run([sig])
+        assert len(small) == pytest.approx(len(sig) / 8, abs=1)
+
+    def test_full_dsp_chain_through_runtime(self):
+        """The whole DSP chain executes through the VDCE runtime."""
+        from repro.afg import ApplicationFlowGraph, TaskNode, TaskProperties
+        from repro.scheduler import SiteScheduler
+        from tests.runtime.conftest import build_runtime
+
+        afg = ApplicationFlowGraph("dsp")
+        for tid, ttype, n_in in [
+            ("synth", "signal.synthesize", 0),
+            ("filt", "signal.lowpass_filter", 1),
+            ("spec", "signal.spectrum", 1),
+            ("peaks", "signal.detect_peaks", 1),
+        ]:
+            afg.add_task(TaskNode(id=tid, task_type=ttype, n_in_ports=n_in,
+                                  n_out_ports=1,
+                                  properties=TaskProperties(workload_scale=0.5)))
+        afg.connect("synth", "filt", size_mb=0.25)
+        afg.connect("filt", "spec", size_mb=0.25)
+        afg.connect("spec", "peaks", size_mb=0.05)
+
+        rt = build_runtime()
+        table = SiteScheduler(k=1).schedule(afg, rt.federation_view())
+        result = rt.sim.run_until_complete(rt.execute_process(afg, table))
+        (peaks,) = result.outputs["peaks"]
+        # the high tone is filtered out; the two low tones survive
+        assert min(abs(peaks - 0.05)) < 0.01
+        assert min(abs(peaks - 0.12)) < 0.01
