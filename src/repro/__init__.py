@@ -25,13 +25,22 @@ Package map (see DESIGN.md for the full inventory):
 ``net``        real-TCP Data Manager (paper §4.2)
 ``workloads``  example applications and DAG generators
 ``metrics``    schedule-length / SLR / speedup / utilisation metrics
+``trace``      structured event tracing + deterministic trace hashing
 ``viz``        text Gantt + workload visualisation service
 =============  =========================================================
 """
 
 from repro.core.config import DeploymentSpec, HostConfig, SiteConfig
 from repro.core.vdce import VDCE
+from repro.trace import Tracer
 
 __version__ = "1.0.0"
 
-__all__ = ["DeploymentSpec", "HostConfig", "SiteConfig", "VDCE", "__version__"]
+__all__ = [
+    "DeploymentSpec",
+    "HostConfig",
+    "SiteConfig",
+    "Tracer",
+    "VDCE",
+    "__version__",
+]

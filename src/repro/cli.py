@@ -100,9 +100,11 @@ def cmd_libraries(args) -> int:
 def cmd_run(args) -> int:
     from repro import VDCE
     from repro.metrics import summarize_result
+    from repro.trace import NULL_TRACER, Tracer
 
+    tracer = Tracer() if args.trace else NULL_TRACER
     env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
-                        seed=args.seed)
+                        seed=args.seed, tracer=tracer)
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
@@ -131,6 +133,18 @@ def cmd_run(args) -> int:
         for task_id, values in sorted(result.outputs.items()):
             rendered = ", ".join(str(v)[:60] for v in values)
             print(f"  {task_id}: {rendered}")
+    if args.trace:
+        from repro.metrics import format_trace_summary
+
+        try:
+            env.save_trace(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}")
+            return 1
+        print()
+        print(format_trace_summary(tracer))
+        print(f"\ntrace written to {args.trace}  "
+              f"(hash {env.trace_hash()[:16]}...)")
     return 0
 
 
@@ -318,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the full execution report")
     run.add_argument("--monitoring", action="store_true",
                      help="start monitor daemons + echo loops first")
+    run.add_argument("--trace", metavar="PATH",
+                     help="record a structured event trace to PATH (JSONL) "
+                          "and print its summary + content hash")
 
     mon = sub.add_parser("monitor", help="run the control plane alone")
     mon.add_argument("--sites", type=int, default=2)

@@ -14,6 +14,8 @@ from repro.scheduler.prediction import PredictionModel
 from repro.scheduler.site_scheduler import SiteScheduler
 from repro.sim.topology import Topology
 from repro.tasklib.registry import TaskRegistry, default_registry
+from repro.trace.serialize import trace_hash, write_jsonl
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.viz.gantt import gantt
 
 __all__ = ["VDCE"]
@@ -42,10 +44,13 @@ class VDCE:
         model: Optional[PredictionModel] = None,
         default_site: Optional[str] = None,
         repositories=None,
+        tracer: Tracer = NULL_TRACER,
     ):
         """``repositories`` (optional): pre-built/restored per-site
         repositories — e.g. from :meth:`load_repositories` — instead of
-        bootstrapping fresh ones."""
+        bootstrapping fresh ones.  ``tracer`` (optional): a
+        :class:`~repro.trace.tracer.Tracer` shared by every component;
+        the default no-op tracer records nothing."""
         if (spec is None) == (topology is None):
             raise ValueError("provide exactly one of spec or topology")
         self.spec = spec
@@ -58,6 +63,7 @@ class VDCE:
             config=runtime_config,
             model=model,
             default_site=default_site,
+            tracer=tracer,
         )
 
     # -- construction helpers ------------------------------------------------
@@ -195,6 +201,20 @@ class VDCE:
 
     def stats(self) -> Dict[str, float]:
         return self.runtime.stats.as_dict()
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.runtime.tracer
+
+    def save_trace(self, path: str) -> str:
+        """Write the recorded trace as JSONL; returns the path."""
+        return write_jsonl(self.tracer, path)
+
+    def trace_hash(self) -> str:
+        """Stable content hash of the recorded trace (regression oracle)."""
+        return trace_hash(self.tracer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

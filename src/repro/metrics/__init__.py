@@ -25,6 +25,12 @@ from repro.metrics.timeline import (
     concurrency_profile,
     parallel_efficiency,
 )
+from repro.metrics.trace_summary import (
+    event_counts,
+    events_by_source,
+    format_trace_summary,
+    phase_timings,
+)
 
 __all__ = [
     "ResultSummary",
@@ -32,8 +38,12 @@ __all__ = [
     "concurrency_profile",
     "parallel_efficiency",
     "critical_path_cost",
+    "event_counts",
+    "events_by_source",
     "format_table",
+    "format_trace_summary",
     "host_utilization",
+    "phase_timings",
     "serial_cost",
     "slr",
     "speedup",

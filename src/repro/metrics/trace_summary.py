@@ -1,0 +1,91 @@
+"""Aggregation over structured traces: counts, phase timings, summary.
+
+A trace is the raw substrate; this module turns it into the two views
+benchmarks and the CLI actually read:
+
+* **event counts** by kind — the trace-side mirror of
+  :class:`~repro.runtime.stats.RuntimeStats`;
+* **phase timings** from span events — how much virtual time went to
+  scheduling vs. allocation vs. channel setup vs. execution, so
+  benches can attribute end-to-end cost per phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.metrics.tables import format_table
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "event_counts",
+    "events_by_source",
+    "format_trace_summary",
+    "phase_timings",
+]
+
+TraceLike = Union[Tracer, Sequence[TraceEvent]]
+
+
+def _events_of(trace: TraceLike) -> List[TraceEvent]:
+    if isinstance(trace, Tracer):
+        return trace.events()
+    return list(trace)
+
+
+def event_counts(trace: TraceLike) -> Dict[str, int]:
+    """How many events of each kind the trace holds (sorted by kind)."""
+    counts: Dict[str, int] = {}
+    for event in _events_of(trace):
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def events_by_source(trace: TraceLike) -> Dict[str, int]:
+    """Event volume per emitting component (sorted by source)."""
+    counts: Dict[str, int] = {}
+    for event in _events_of(trace):
+        counts[event.source] = counts.get(event.source, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def phase_timings(trace: TraceLike) -> Dict[str, Dict[str, float]]:
+    """Per-span-name aggregate timings from ``span_end`` events.
+
+    Returns ``{span_name: {"count": n, "total_s": sum, "max_s": max}}``.
+    Spans still open at capture time are simply absent (no end event).
+    """
+    result: Dict[str, Dict[str, float]] = {}
+    for event in _events_of(trace):
+        if event.kind != EventKind.SPAN_END:
+            continue
+        name = str(event.data.get("span", ""))
+        duration = float(event.data.get("duration", 0.0))
+        agg = result.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
+        agg["count"] += 1
+        agg["total_s"] += duration
+        agg["max_s"] = max(agg["max_s"], duration)
+    return dict(sorted(result.items()))
+
+
+def format_trace_summary(trace: TraceLike, title: str = "trace summary") -> str:
+    """Render the counts + phase-timing tables (the CLI's ``--trace`` view)."""
+    events = _events_of(trace)
+    counts = event_counts(events)
+    count_rows = [{"event": kind, "count": n} for kind, n in counts.items()]
+    sections = [
+        format_table(count_rows, title=f"{title} — {len(events)} events"),
+    ]
+    timing_rows = [
+        {
+            "phase": name,
+            "count": int(agg["count"]),
+            "total_s": round(agg["total_s"], 4),
+            "max_s": round(agg["max_s"], 4),
+        }
+        for name, agg in phase_timings(events).items()
+    ]
+    if timing_rows:
+        sections.append(format_table(timing_rows, title="phase timings"))
+    return "\n\n".join(sections)

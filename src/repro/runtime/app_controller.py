@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 from repro.sim.host import Host, TaskExecution
 from repro.sim.kernel import Process, Simulator, Timeout
 from repro.runtime.stats import RuntimeStats
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["AppController"]
 
@@ -40,6 +42,7 @@ class AppController:
         stats: RuntimeStats,
         load_threshold: float = 4.0,
         check_period_s: float = 2.0,
+        tracer: Tracer = NULL_TRACER,
     ):
         if load_threshold <= 0:
             raise ValueError("load_threshold must be positive")
@@ -48,6 +51,7 @@ class AppController:
         self.sim = sim
         self.host = host
         self.stats = stats
+        self.tracer = tracer
         self.load_threshold = float(load_threshold)
         self.check_period_s = float(check_period_s)
         #: applications whose execution request has arrived
@@ -90,6 +94,12 @@ class AppController:
                     return
                 background = self.host.bg_load
                 if background > self.load_threshold:
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            EventKind.LOAD_CANCEL, source=f"ac:{self.host.name}",
+                            task=task_id, host=self.host.name, load=background,
+                            threshold=self.load_threshold,
+                        )
                     self.host.cancel(execution, cause=f"load>{self.load_threshold}")
                     on_reschedule(task_id, self.host.name,
                                   f"load {background:.2f} over threshold")

@@ -24,6 +24,8 @@ from repro.net.messages import EdgeKey
 from repro.net.proxy import CommunicationProxy, ProxyError
 from repro.scheduler.allocation import AllocationTable
 from repro.tasklib.registry import TaskRegistry, default_registry
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["LocalDataManager", "RealExecutionReport", "RealTaskRecord"]
 
@@ -68,9 +70,15 @@ class LocalDataManager:
         self,
         registry: Optional[TaskRegistry] = None,
         timeout_s: float = 30.0,
+        tracer: Tracer = NULL_TRACER,
     ):
+        """``tracer`` records the real run on the wall clock — construct
+        it as ``Tracer(clock=time.monotonic)``.  Real-path traces are
+        *not* deterministic (wall times vary); they exist for debugging
+        and for comparing event **counts** against the simulated path."""
         self.registry = registry or default_registry()
         self.timeout_s = timeout_s
+        self.tracer = tracer
 
     def execute(
         self, afg: ApplicationFlowGraph, table: AllocationTable
@@ -105,6 +113,12 @@ class LocalDataManager:
             channels[key] = proxies[src_host].open_channel(
                 afg.name, key, proxies[dst_host].address, dst_host
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.CHANNEL_SETUP, source=f"dm:{afg.name}",
+                    edge=[edge.src, edge.dst], src_host=src_host,
+                    dst_host=dst_host, real=True,
+                )
 
         # "When all the required acknowledgments are received an execution
         # startup signal is sent to start the application execution."
@@ -135,8 +149,19 @@ class LocalDataManager:
                 inputs = [port_values.get(p) for p in range(node.n_in_ports)]
 
                 record.started_at = time.monotonic()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.TASK_START, source=f"dm:{afg.name}",
+                        task=task_id, host=host, real=True,
+                    )
                 result = signature.run(inputs, node.properties.workload_scale)
                 record.finished_at = time.monotonic()
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.TASK_FINISH, source=f"dm:{afg.name}",
+                        task=task_id, host=host, real=True,
+                        measured_time=record.elapsed,
+                    )
 
                 for edge in afg.out_edges(task_id):
                     channels[_edge_key(edge)].send(result[edge.src_port])
@@ -155,6 +180,9 @@ class LocalDataManager:
         for thread in threads:
             thread.start()
         startup.set()
+        if self.tracer.enabled:
+            self.tracer.emit(EventKind.STARTUP_SIGNAL, source=f"dm:{afg.name}",
+                             real=True)
         for thread in threads:
             thread.join(self.timeout_s)
             if thread.is_alive():

@@ -43,6 +43,7 @@ from repro.runtime.stats import RuntimeStats
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.sim.host import HostDownError, Interrupted
 from repro.sim.kernel import AllOf, Signal, Simulator, Timeout
+from repro.trace.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.vdce_runtime import VDCERuntime
@@ -171,6 +172,7 @@ class ExecutionCoordinator:
         self.runtime = runtime
         self.sim: Simulator = runtime.sim
         self.stats: RuntimeStats = runtime.stats
+        self.tracer = runtime.tracer
         self.afg = afg
         self.table = table
         self.execute_payloads = execute_payloads
@@ -198,27 +200,33 @@ class ExecutionCoordinator:
 
     def _run(self):
         submitted_at = self.sim.now
+        source = f"app:{self.afg.name}"
 
         # Phase 1: distribute allocation-table portions.
-        yield from self._distribute_allocation()
+        with self.tracer.span("allocation", source=source):
+            yield from self._distribute_allocation()
 
         # Phase 2: channel setup + acks for every AFG edge.
-        yield from self._setup_channels()
+        with self.tracer.span("channel_setup", source=source):
+            yield from self._setup_channels()
 
         # Phase 3: the execution startup signal.
         self.stats.startup_signals += 1
         yield Timeout(_STARTUP_BROADCAST_S)
         startup_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(EventKind.STARTUP_SIGNAL, source=source)
 
         # Phase 4: per-task processes; wait for all of them.
-        procs = [
-            self.sim.process(
-                self._task_process(task_id), name=f"task:{self.afg.name}:{task_id}"
-            )
-            for task_id in self.afg.topological_order()
-        ]
-        for proc in procs:
-            yield proc
+        with self.tracer.span("execution", source=source):
+            procs = [
+                self.sim.process(
+                    self._task_process(task_id), name=f"task:{self.afg.name}:{task_id}"
+                )
+                for task_id in self.afg.topological_order()
+            ]
+            for proc in procs:
+                yield proc
         finished_at = self.sim.now
 
         # Phase 6: post-execution task-performance refinement.
@@ -274,8 +282,19 @@ class ExecutionCoordinator:
             link = network.link_between(src_host, dst_host)
             latency = link.spec.latency_s if link is not None else 0.0
             self.stats.channel_setups += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.CHANNEL_SETUP, source=f"app:{self.afg.name}",
+                    edge=[edge.src, edge.dst], src_host=src_host,
+                    dst_host=dst_host,
+                )
             yield Timeout(latency)  # communication proxy sets up the socket
             self.stats.channel_acks += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.CHANNEL_ACK, source=f"app:{self.afg.name}",
+                    edge=[edge.src, edge.dst],
+                )
             yield Timeout(latency)  # acknowledgment back to the controller
             self._edge_ready[_edge_key(edge)] = self.sim.signal(
                 f"edge:{edge.src}->{edge.dst}"
@@ -325,8 +344,20 @@ class ExecutionCoordinator:
 
         # Execute, retrying through reschedules.
         record.started_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.TASK_START, source=f"app:{self.afg.name}",
+                task=task_id, task_type=node.task_type,
+                site=record.site, hosts=record.hosts,
+            )
         yield from self._execute_with_recovery(node, record, inputs)
         record.finished_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.TASK_FINISH, source=f"app:{self.afg.name}",
+                task=task_id, site=record.site, hosts=record.hosts,
+                measured_time=record.measured_time, attempts=record.attempts,
+            )
 
         # Produce real output values.
         if self.execute_payloads:
@@ -351,6 +382,12 @@ class ExecutionCoordinator:
             self._transferred_mb += edge.size_mb
             self.stats.data_transfers += 1
             self.stats.data_transferred_mb += edge.size_mb
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
+                    src=src_host, dst=dst_host, size_mb=edge.size_mb,
+                    edge=[edge.src, edge.dst], reason="dataflow",
+                )
             key = _edge_key(edge)
 
             def deliver(key=key, value=value, transfer=transfer):
@@ -408,6 +445,13 @@ class ExecutionCoordinator:
         """Obtain a replacement placement and re-stage inputs onto it."""
         self._reschedules += 1
         self.stats.reschedule_requests += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.RESCHEDULE, source=f"app:{self.afg.name}",
+                task=node.id, reason=reason,
+                from_site=self.assignment[node.id].site,
+                from_hosts=self.assignment[node.id].hosts,
+            )
         excluded = self._excluded_hosts.setdefault(node.id, set())
         excluded.update(self.assignment[node.id].hosts)
         record.reschedule_reasons.append(reason)
@@ -461,6 +505,12 @@ class ExecutionCoordinator:
             self._transferred_mb += edge.size_mb
             self.stats.data_transfers += 1
             self.stats.data_transferred_mb += edge.size_mb
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
+                    src=src_host, dst=new_primary, size_mb=edge.size_mb,
+                    edge=[edge.src, edge.dst], reason="restage",
+                )
             yield transfer.done
         src_server = self.runtime.topology.site(self.submit_site).server_host.name
         for binding in node.properties.file_inputs():

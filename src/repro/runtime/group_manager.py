@@ -23,6 +23,8 @@ from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
 from repro.sim.kernel import Process, Simulator, Timeout
 from repro.sim.site import Group
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.site_manager import SiteManager
@@ -44,6 +46,7 @@ class GroupManager:
         lan_latency_s: float = 0.0005,
         echo_loss_prob: float = 0.0,
         suspicion_threshold: int = 1,
+        tracer: Tracer = NULL_TRACER,
     ):
         """``echo_loss_prob`` models a lossy campus LAN: each echo round
         trip independently fails with this probability.  A host is only
@@ -67,6 +70,7 @@ class GroupManager:
         self.lan_latency_s = float(lan_latency_s)
         self.echo_loss_prob = float(echo_loss_prob)
         self.suspicion_threshold = int(suspicion_threshold)
+        self.tracer = tracer
         #: last workload value forwarded upward, per host
         self._last_forwarded: Dict[str, float] = {}
         #: what this Group Manager believes about host liveness
@@ -91,9 +95,19 @@ class GroupManager:
         last = self._last_forwarded.get(measurement.host)
         if last is not None and abs(measurement.load - last) < self.change_threshold:
             self.stats.workload_suppressed += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.WORKLOAD_SUPPRESS, source=f"gm:{self.name}",
+                    host=measurement.host, load=measurement.load, last=last,
+                )
             return
         self._last_forwarded[measurement.host] = measurement.load
         self.stats.workload_forwards += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.WORKLOAD_FORWARD, source=f"gm:{self.name}",
+                host=measurement.host, load=measurement.load,
+            )
         self.sim.call_after(
             self.lan_latency_s,
             lambda: self.site_manager.receive_workload(measurement),
@@ -121,6 +135,11 @@ class GroupManager:
                 if responded and self.echo_loss_prob > 0.0:
                     if float(rng.uniform()) < self.echo_loss_prob:
                         responded = False  # packet lost, host fine
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.ECHO, source=f"gm:{self.name}",
+                        host=host.name, responded=responded,
+                    )
                 believed = self._believed_up[host.name]
                 if not responded:
                     self._missed[host.name] += 1
@@ -132,6 +151,12 @@ class GroupManager:
                         self.false_positives += 1
                     self.stats.failure_notifications += 1
                     self.stats.record_detection(self.sim.now, host.name, "down")
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            EventKind.FAILURE_NOTIFICATION,
+                            source=f"gm:{self.name}", host=host.name,
+                            false_positive=host.is_up(),
+                        )
                     self.sim.call_after(
                         self.lan_latency_s,
                         lambda h=host.name: self.site_manager.receive_failure(h),
@@ -140,6 +165,11 @@ class GroupManager:
                     self._believed_up[host.name] = True
                     self.stats.recovery_notifications += 1
                     self.stats.record_detection(self.sim.now, host.name, "up")
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            EventKind.RECOVERY_NOTIFICATION,
+                            source=f"gm:{self.name}", host=host.name,
+                        )
                     self.sim.call_after(
                         self.lan_latency_s,
                         lambda h=host.name: self.site_manager.receive_recovery(h),

@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, Optional
 from repro.sim.host import Host
 from repro.sim.kernel import Process, Simulator, Timeout
 from repro.runtime.stats import RuntimeStats
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.group_manager import GroupManager
@@ -47,6 +49,7 @@ class MonitorDaemon:
         stats: RuntimeStats,
         period_s: float = 2.0,
         lan_latency_s: float = 0.0005,
+        tracer: Tracer = NULL_TRACER,
     ):
         if period_s <= 0:
             raise ValueError("monitor period must be positive")
@@ -56,6 +59,7 @@ class MonitorDaemon:
         self.stats = stats
         self.period_s = float(period_s)
         self.lan_latency_s = float(lan_latency_s)
+        self.tracer = tracer
         self._process: Optional[Process] = None
 
     def start(self) -> Process:
@@ -80,6 +84,14 @@ class MonitorDaemon:
             if self.host.is_up():
                 measurement = self.measure()
                 self.stats.monitor_reports += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.MONITOR_REPORT,
+                        source=f"monitor:{self.host.name}",
+                        host=measurement.host,
+                        load=measurement.load,
+                        available_memory_mb=measurement.available_memory_mb,
+                    )
                 # delivery after LAN latency; a monitor on a host that
                 # dies in flight still delivers (packet already sent)
                 self.sim.call_after(

@@ -23,6 +23,8 @@ from repro.afg.properties import FileSpec
 from repro.runtime.stats import RuntimeStats
 from repro.sim.kernel import Signal, Simulator
 from repro.sim.network import Network
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ConsoleService", "IOService", "StagedFile"]
 
@@ -48,10 +50,17 @@ class IOService:
     transfer machinery; URLs are distinguished for accounting.
     """
 
-    def __init__(self, sim: Simulator, network: Network, stats: RuntimeStats):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        stats: RuntimeStats,
+        tracer: Tracer = NULL_TRACER,
+    ):
         self.sim = sim
         self.network = network
         self.stats = stats
+        self.tracer = tracer
         self._loaders: Dict[str, Callable[[FileSpec], Any]] = {}
         self.staged_count = 0
         self.staged_mb = 0.0
@@ -75,8 +84,20 @@ class IOService:
             )
             self.stats.data_transfers += 1
             self.stats.data_transferred_mb += spec.size_mb
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.DATA_TRANSFER, source="io",
+                    src=src_host, dst=dst_host, size_mb=spec.size_mb,
+                    reason="stage",
+                )
             yield transfer.done
         self.staged_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.FILE_STAGE, source="io",
+                path=spec.path, dst=dst_host, size_mb=spec.size_mb,
+                url="://" in spec.path,
+            )
         self.staged_mb += spec.size_mb
         if "://" in spec.path:
             self.url_staged_count += 1

@@ -25,6 +25,8 @@ from repro.scheduler.host_selection import HostSelectionResult, select_hosts
 from repro.scheduler.prediction import PredictionModel
 from repro.sim.kernel import Signal, Simulator
 from repro.sim.site import Site
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.app_controller import AppController
@@ -43,12 +45,14 @@ class SiteManager:
         repository: SiteRepository,
         stats: RuntimeStats,
         lan_latency_s: float = 0.0005,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.sim = sim
         self.site = site
         self.repository = repository
         self.stats = stats
         self.lan_latency_s = float(lan_latency_s)
+        self.tracer = tracer
         self.group_managers: Dict[str, "GroupManager"] = {}
         self.app_controllers: Dict[str, "AppController"] = {}
         #: peers for inter-site coordination, filled by VDCERuntime
@@ -115,11 +119,22 @@ class SiteManager:
         )
         # Site Manager -> each Group Manager (one message per group) ...
         self.stats.allocation_messages += len(groups_involved)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.ALLOCATION_MULTICAST, source=f"sm:{self.name}",
+                application=table.application, groups=groups_involved,
+                hosts=hosts_involved,
+            )
         # ... then Group Manager -> each Application Controller
         pending = [len(hosts_involved)]
 
         def deliver_to_controller(host_name: str) -> None:
             self.stats.execution_requests += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.EXECUTION_REQUEST, source=f"sm:{self.name}",
+                    application=table.application, host=host_name,
+                )
             controller = self.app_controllers[host_name]
             controller.receive_execution_request(table.application)
             pending[0] -= 1
@@ -144,6 +159,12 @@ class SiteManager:
             task_type, host, expected_s=expected_s, measured_s=measured_s
         )
         self.stats.taskperf_updates += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.TASKPERF_UPDATE, source=f"sm:{self.name}",
+                task_type=task_type, host=host,
+                expected_s=expected_s, measured_s=measured_s,
+            )
 
     # -- inter-site coordination (scheduler support) ----------------------------------
 
@@ -157,7 +178,7 @@ class SiteManager:
         Called by a peer Site Manager; the caller charges WAN latency
         and counts the messages.
         """
-        return select_hosts(afg, self.repository, model)
+        return select_hosts(afg, self.repository, model, tracer=self.tracer)
 
     # -- rescheduling support --------------------------------------------------------
 

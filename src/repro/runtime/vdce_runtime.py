@@ -40,6 +40,8 @@ from repro.scheduler.site_scheduler import SiteScheduler
 from repro.sim.kernel import AllOf, Simulator, Timeout
 from repro.sim.topology import Topology
 from repro.tasklib.registry import TaskRegistry, default_registry
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["RuntimeConfig", "VDCERuntime"]
 
@@ -94,6 +96,7 @@ class VDCERuntime:
         config: RuntimeConfig = RuntimeConfig(),
         model: Optional[PredictionModel] = None,
         default_site: Optional[str] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.topology = topology
         self.sim: Simulator = topology.sim
@@ -101,6 +104,9 @@ class VDCERuntime:
         self.config = config
         self.model = model or PredictionModel()
         self.stats = RuntimeStats()
+        #: shared structured tracer (no-op by default); bound to the
+        #: virtual clock and handed to every component below
+        self.tracer = self.sim.attach_tracer(tracer)
         self.default_site = default_site or topology.site_names[0]
 
         if repositories is None:
@@ -120,6 +126,7 @@ class VDCERuntime:
             manager = SiteManager(
                 self.sim, site, self.repositories[site_name], self.stats,
                 lan_latency_s=lan_latency,
+                tracer=self.tracer,
             )
             self.site_managers[site_name] = manager
             for group in site.groups.values():
@@ -130,6 +137,7 @@ class VDCERuntime:
                     lan_latency_s=lan_latency,
                     echo_loss_prob=config.echo_loss_prob,
                     suspicion_threshold=config.suspicion_threshold,
+                    tracer=self.tracer,
                 )
                 manager.attach_group_manager(gm)
                 self.group_managers[gm.name] = gm
@@ -138,11 +146,13 @@ class VDCERuntime:
                         self.sim, host, gm, self.stats,
                         period_s=config.monitor_period_s,
                         lan_latency_s=lan_latency,
+                        tracer=self.tracer,
                     )
                     controller = AppController(
                         self.sim, host, self.stats,
                         load_threshold=config.load_threshold,
                         check_period_s=config.check_period_s,
+                        tracer=self.tracer,
                     )
                     manager.attach_app_controller(controller)
                     self.app_controllers[host.name] = controller
@@ -150,7 +160,9 @@ class VDCERuntime:
         for manager in self.site_managers.values():
             manager.peers = dict(self.site_managers)
 
-        self.io_service = IOService(self.sim, topology.network, self.stats)
+        self.io_service = IOService(
+            self.sim, topology.network, self.stats, tracer=self.tracer
+        )
         self.console = ConsoleService(self.sim)
         self._monitoring_started = False
 
@@ -192,6 +204,9 @@ class VDCERuntime:
         scheduler = scheduler or SiteScheduler(k=2, model=self.model)
         local_site = local_site or self.default_site
         started = self.sim.now
+        span_id = self.tracer.begin_span(
+            "schedule", source=f"sm:{local_site}", application=afg.name
+        )
         view = self.federation_view(local_site)
         remotes = view.remote_sites(scheduler.k)
 
@@ -202,6 +217,11 @@ class VDCERuntime:
             remote_server = self.topology.site(remote).server_host.name
             # step 3: multicast the AFG
             self.stats.scheduler_messages += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.AFG_MULTICAST, source=f"sm:{local_site}",
+                    application=afg.name, remote=remote, size_mb=afg_mb,
+                )
             t1 = self.topology.network.transfer(
                 local_server, remote_server, afg_mb, label=f"afg->{remote}"
             )
@@ -212,6 +232,11 @@ class VDCERuntime:
             )
             # step 5: bids ride back
             self.stats.scheduler_messages += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.BID_REPLY, source=f"sm:{remote}",
+                    application=afg.name, bids=len(bids),
+                )
             t2 = self.topology.network.transfer(
                 remote_server, local_server, _BID_BYTES_MB * max(1, len(bids)),
                 label=f"bids<-{remote}",
@@ -225,7 +250,8 @@ class VDCERuntime:
             yield AllOf(procs)
 
         # placement itself (pure); its wall cost is negligible vs messages
-        table = scheduler.schedule(afg, view)
+        table = scheduler.schedule(afg, view, tracer=self.tracer)
+        self.tracer.end_span(span_id, source=f"sm:{local_site}")
         return table, self.sim.now - started
 
     # -- execution -----------------------------------------------------------------

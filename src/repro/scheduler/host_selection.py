@@ -55,6 +55,8 @@ from repro.afg.task import TaskNode
 from repro.repository.resources import HostRecord
 from repro.repository.store import SiteRepository
 from repro.scheduler.prediction import PredictionModel
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["HostSelectionResult", "bid_for_task", "candidate_hosts", "select_hosts"]
 
@@ -169,11 +171,14 @@ def select_hosts(
     repo: SiteRepository,
     model: Optional[PredictionModel] = None,
     order: Optional[List[str]] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> Dict[str, HostSelectionResult]:
     """Run Figure 3 at one site; return this site's bids, keyed by task id.
 
     ``order`` overrides the queue order (default: level priority); the
-    E9 ablation passes a FIFO/topological order here.
+    E9 ablation passes a FIFO/topological order here.  ``tracer``
+    records one :data:`~repro.trace.events.EventKind.HOST_BID` event
+    per bid produced.
     """
     model = model or PredictionModel()
     results: Dict[str, HostSelectionResult] = {}
@@ -219,6 +224,12 @@ def select_hosts(
         bid = bid_for_task(task, repo, model, concurrent_commitments)
         if bid is None:
             continue  # site cannot run this task; no bid
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.HOST_BID, source=f"hostsel:{repo.site_name}",
+                task=task.id, site=bid.site, hosts=bid.hosts,
+                predicted_time=bid.predicted_time,
+            )
         for host_name in bid.hosts:
             committed.setdefault(host_name, []).append(task_id)
         results[task.id] = bid

@@ -52,6 +52,8 @@ from repro.scheduler.host_selection import (
     bid_for_task,
 )
 from repro.scheduler.prediction import PredictionModel
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = ["SiteScheduler", "SchedulingError"]
 
@@ -96,15 +98,27 @@ class SiteScheduler:
 
     # -- the algorithm ------------------------------------------------------
 
-    def schedule(self, afg: ApplicationFlowGraph, view: FederationView) -> AllocationTable:
+    def schedule(
+        self,
+        afg: ApplicationFlowGraph,
+        view: FederationView,
+        tracer: Tracer = NULL_TRACER,
+    ) -> AllocationTable:
         """Run Figure 2 and return the resource allocation table."""
-        table, _ = self.schedule_with_trace(afg, view)
+        table, _ = self.schedule_with_trace(afg, view, tracer=tracer)
         return table
 
     def schedule_with_trace(
-        self, afg: ApplicationFlowGraph, view: FederationView
+        self,
+        afg: ApplicationFlowGraph,
+        view: FederationView,
+        tracer: Tracer = NULL_TRACER,
     ) -> Tuple[AllocationTable, List[str]]:
-        """As :meth:`schedule`, also returning the placement order."""
+        """As :meth:`schedule`, also returning the placement order.
+
+        ``tracer`` records one ``schedule_decision`` event per placed
+        task — the substrate for trace-diffing a scheduling change.
+        """
         validate_afg(afg)
 
         # Step 2: select the k nearest neighbour sites.
@@ -152,6 +166,14 @@ class SiteScheduler:
             assignment = self._place_task(
                 afg, task_id, sites, view, site_by_task, committed, related
             )
+            if tracer.enabled:
+                tracer.emit(
+                    EventKind.SCHEDULE_DECISION, source=f"sched:{self.name}",
+                    application=afg.name, task=task_id,
+                    site=assignment.site, hosts=assignment.hosts,
+                    predicted_time=assignment.predicted_time,
+                    level=levels[task_id],
+                )
             table.assign(assignment)
             for host_name in assignment.hosts:
                 committed.setdefault(host_name, []).append(task_id)

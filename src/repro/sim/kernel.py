@@ -24,6 +24,9 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 import numpy as np
 
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
+
 __all__ = [
     "AllOf",
     "AnyOf",
@@ -256,6 +259,8 @@ class Process(_Waitable):
         self._callbacks: list[Callable[[_Waitable], None]] = []
         self._interrupting = False
         self._current_wait: Optional[_Waitable] = None
+        if sim.tracer.enabled:
+            sim.tracer.emit(EventKind.PROCESS_SPAWN, source=self.name)
         sim.call_at(sim.now, lambda: self._step(None, None))
 
     # -- public API ---------------------------------------------------
@@ -331,6 +336,14 @@ class Process(_Waitable):
         self.triggered = True
         self.value = value
         self._exc = exc
+        if self.sim.tracer.enabled:
+            if exc is None:
+                self.sim.tracer.emit(EventKind.PROCESS_FINISH, source=self.name)
+            else:
+                self.sim.tracer.emit(
+                    EventKind.PROCESS_FAIL, source=self.name,
+                    error=type(exc).__name__,
+                )
         if exc is not None:
             self.sim._record_failed_process(self)
         callbacks, self._callbacks = self._callbacks, []
@@ -377,6 +390,8 @@ class Simulator:
         self._rngs: dict[str, np.random.Generator] = {}
         self._failed: list[Process] = []
         self._trace: Optional[list[tuple[float, str, dict]]] = None
+        #: structured tracer (no-op unless a real Tracer is attached)
+        self.tracer: Tracer = NULL_TRACER
         self.events_processed = 0
 
     # -- randomness -----------------------------------------------------
@@ -392,6 +407,17 @@ class Simulator:
         return self._rngs[name]
 
     # -- tracing ----------------------------------------------------------
+
+    def attach_tracer(self, tracer: Tracer) -> Tracer:
+        """Install a structured tracer and bind it to the virtual clock.
+
+        Kernel process lifecycle events (spawn/finish/fail) are emitted
+        whenever the attached tracer is enabled; the rest of the stack
+        shares the same tracer through :class:`~repro.runtime.vdce_runtime.VDCERuntime`.
+        """
+        self.tracer = tracer
+        tracer.bind_clock(lambda: self.now)
+        return tracer
 
     def enable_trace(self) -> None:
         """Record ``(time, kind, payload)`` tuples for visualisation/tests."""

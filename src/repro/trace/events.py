@@ -1,0 +1,113 @@
+"""Typed event records for the VDCE trace stream.
+
+A trace is an ordered list of :class:`TraceEvent` records.  Every event
+carries the virtual time it happened at, a monotonically increasing
+sequence number (the tie-breaker that makes the stream totally
+ordered), a *kind* drawn from :class:`EventKind`, the component that
+emitted it, and a JSON-safe payload.
+
+The kinds mirror the paper's message classes one-to-one where a
+:class:`~repro.runtime.stats.RuntimeStats` counter exists (monitor
+reports, echo packets, failure notifications, channel setups, ...) so
+that ``count(kind) == counter`` is a checkable invariant — the
+cross-check tests rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["EventKind", "KNOWN_KINDS", "TraceEvent"]
+
+
+class EventKind:
+    """Namespace of well-known event kinds (plain strings).
+
+    Emitters are free to use ad-hoc kinds; these are the ones the
+    instrumented stack produces and the summary/cross-check tooling
+    understands.
+    """
+
+    # -- kernel -----------------------------------------------------------
+    PROCESS_SPAWN = "process_spawn"
+    PROCESS_FINISH = "process_finish"
+    PROCESS_FAIL = "process_fail"
+
+    # -- monitoring / control plane (paper §4.1) --------------------------
+    MONITOR_REPORT = "monitor_report"
+    WORKLOAD_FORWARD = "workload_forward"
+    WORKLOAD_SUPPRESS = "workload_suppress"
+    ECHO = "echo"
+    FAILURE_NOTIFICATION = "failure_notification"
+    RECOVERY_NOTIFICATION = "recovery_notification"
+    LOAD_CANCEL = "load_cancel"
+
+    # -- scheduling (paper §3) --------------------------------------------
+    AFG_MULTICAST = "afg_multicast"
+    BID_REPLY = "bid_reply"
+    HOST_BID = "host_bid"
+    SCHEDULE_DECISION = "schedule_decision"
+
+    # -- execution / data plane (paper §4.2) ------------------------------
+    ALLOCATION_MULTICAST = "allocation_multicast"
+    EXECUTION_REQUEST = "execution_request"
+    CHANNEL_SETUP = "channel_setup"
+    CHANNEL_ACK = "channel_ack"
+    STARTUP_SIGNAL = "startup_signal"
+    TASK_START = "task_start"
+    TASK_FINISH = "task_finish"
+    DATA_TRANSFER = "data_transfer"
+    FILE_STAGE = "file_stage"
+    RESCHEDULE = "reschedule"
+    TASKPERF_UPDATE = "taskperf_update"
+
+    # -- spans (timed operations) -----------------------------------------
+    SPAN_BEGIN = "span_begin"
+    SPAN_END = "span_end"
+
+
+KNOWN_KINDS = frozenset(
+    value
+    for name, value in vars(EventKind).items()
+    if not name.startswith("_") and isinstance(value, str)
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    #: virtual time (simulated runs) or caller-clock time (real runs)
+    time: float
+    #: total order over the stream; unique within one trace
+    seq: int
+    #: event kind, usually one of :class:`EventKind`
+    kind: str
+    #: emitting component, e.g. ``"monitor:s0-h01"`` or ``"app:solver"``
+    source: str = ""
+    #: JSON-safe payload
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSONL wire format)."""
+        return {
+            "time": self.time,
+            "seq": self.seq,
+            "kind": self.kind,
+            "source": self.source,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            time=float(payload["time"]),
+            seq=int(payload["seq"]),
+            kind=str(payload["kind"]),
+            source=str(payload.get("source", "")),
+            data=dict(payload.get("data", {})),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent(t={self.time:.6g}, #{self.seq}, {self.kind!r})"

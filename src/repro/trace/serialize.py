@@ -1,0 +1,108 @@
+"""Trace persistence: JSONL export/import, canonical hashing, diffing.
+
+The wire format is one JSON object per line (``TraceEvent.to_dict``).
+The *canonical* form — sorted keys, minimal separators — is what the
+content hash is computed over, so the hash is a function of the trace's
+information only, never of incidental formatting.  Because the
+simulation kernel is fully deterministic, two same-seed runs produce
+byte-identical canonical traces, which makes :func:`trace_hash` an
+exact, cheap regression oracle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, List, Sequence, Union
+
+from repro.trace.events import TraceEvent
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "diff_traces",
+    "event_to_json",
+    "events_to_jsonl",
+    "parse_jsonl",
+    "read_jsonl",
+    "trace_hash",
+    "write_jsonl",
+]
+
+TraceLike = Union[Tracer, Sequence[TraceEvent]]
+
+
+def _events_of(trace: TraceLike) -> List[TraceEvent]:
+    if isinstance(trace, Tracer):
+        return trace.events()
+    return list(trace)
+
+
+def event_to_json(event: TraceEvent) -> str:
+    """Canonical single-line JSON for one event."""
+    return json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def events_to_jsonl(trace: TraceLike) -> str:
+    """The whole trace as canonical JSONL (trailing newline included)."""
+    lines = [event_to_json(e) for e in _events_of(trace)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(trace: TraceLike, path: str) -> str:
+    """Write the trace to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(events_to_jsonl(trace))
+    return path
+
+
+def parse_jsonl(text: str) -> List[TraceEvent]:
+    """Parse JSONL text back into events (blank lines ignored)."""
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+    return events
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_jsonl(fh.read())
+
+
+def trace_hash(trace: TraceLike) -> str:
+    """SHA-256 over the canonical JSONL — the trace's stable identity."""
+    digest = hashlib.sha256()
+    for event in _events_of(trace):
+        digest.update(event_to_json(event).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def diff_traces(a: TraceLike, b: TraceLike, limit: int = 10) -> List[str]:
+    """Human-readable first differences between two traces.
+
+    Returns an empty list when the traces are identical.  The intended
+    workflow for debugging a scheduling change: capture a trace before
+    and after, then read where the event streams first diverge.
+    """
+    events_a, events_b = _events_of(a), _events_of(b)
+    differences: List[str] = []
+    for index, (ea, eb) in enumerate(zip(events_a, events_b)):
+        if len(differences) >= limit:
+            break
+        if event_to_json(ea) != event_to_json(eb):
+            differences.append(
+                f"event {index}: "
+                f"a=(t={ea.time:.6g} {ea.kind} {ea.source} {ea.data}) "
+                f"b=(t={eb.time:.6g} {eb.kind} {eb.source} {eb.data})"
+            )
+    if len(events_a) != len(events_b) and len(differences) < limit:
+        differences.append(
+            f"length: a has {len(events_a)} events, b has {len(events_b)}"
+        )
+    return differences

@@ -1,0 +1,177 @@
+"""The Tracer: structured event recording with span support.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records :class:`~repro.trace.events.TraceEvent`
+  objects in memory, stamps them with a caller-supplied clock (the
+  simulator binds its virtual clock via :meth:`bind_clock`), and
+  supports *spans* for timed operations (scheduling, channel setup,
+  execution phases).
+* :class:`NullTracer` — the default everywhere; every method is a
+  no-op so the instrumented hot paths cost one attribute check when
+  tracing is disabled.  Emit sites that build non-trivial payloads
+  guard with ``if tracer.enabled:`` to avoid even the argument
+  packing.
+
+The module-level :data:`NULL_TRACER` singleton is the canonical
+disabled tracer; identity comparison against it is allowed but the
+``enabled`` flag is the supported switch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.trace.events import EventKind, TraceEvent
+
+__all__ = ["NULL_TRACER", "NullTracer", "Tracer"]
+
+
+def _jsonify(value: Any) -> Any:
+    """Coerce a payload value to something ``json.dumps`` accepts.
+
+    numpy scalars become Python scalars, tuples/sets become lists, and
+    mappings are converted recursively — so emit sites can pass
+    whatever they have on hand without thinking about the wire format.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(v) for v in value)
+    return str(value)
+
+
+class Tracer:
+    """In-memory structured event recorder.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time.  Simulated
+        deployments bind the virtual clock (``lambda: sim.now``) via
+        :meth:`bind_clock`; the real-socket Data Manager passes
+        ``time.monotonic``.  Defaults to a constant 0.0 until bound.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._seq = itertools.count()
+        self._span_ids = itertools.count()
+        self._events: List[TraceEvent] = []
+        #: open spans: span_id -> (name, start time)
+        self._open_spans: Dict[int, Tuple[str, float]] = {}
+
+    # -- clock -------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a (new) time source."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return float(self._clock())
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(self, kind: str, source: str = "", **data: Any) -> TraceEvent:
+        """Record one event at the current clock reading."""
+        event = TraceEvent(
+            time=self.now,
+            seq=next(self._seq),
+            kind=kind,
+            source=source,
+            data={k: _jsonify(v) for k, v in data.items()},
+        )
+        self._events.append(event)
+        return event
+
+    # -- spans -------------------------------------------------------------
+
+    def begin_span(self, name: str, source: str = "", **data: Any) -> int:
+        """Open a timed operation; returns the span id to close it with."""
+        span_id = next(self._span_ids)
+        self._open_spans[span_id] = (name, self.now)
+        self.emit(EventKind.SPAN_BEGIN, source=source, span=name,
+                  span_id=span_id, **data)
+        return span_id
+
+    def end_span(self, span_id: int, source: str = "", **data: Any) -> None:
+        """Close an open span, emitting its measured duration."""
+        name, started = self._open_spans.pop(span_id)
+        self.emit(EventKind.SPAN_END, source=source, span=name,
+                  span_id=span_id, duration=self.now - started, **data)
+
+    @contextmanager
+    def span(self, name: str, source: str = "", **data: Any) -> Iterator[int]:
+        """Context manager sugar around begin/end_span."""
+        span_id = self.begin_span(name, source=source, **data)
+        try:
+            yield span_id
+        finally:
+            self.end_span(span_id)
+
+    # -- access ------------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        """Snapshot of everything recorded so far."""
+        return list(self._events)
+
+    @property
+    def open_spans(self) -> Dict[int, Tuple[str, float]]:
+        return dict(self._open_spans)
+
+    def clear(self) -> None:
+        """Drop recorded events (sequence numbers keep counting up)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer({len(self._events)} events, t={self.now:.6g})"
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def emit(self, kind: str, source: str = "", **data: Any) -> None:  # type: ignore[override]
+        return None
+
+    def begin_span(self, name: str, source: str = "", **data: Any) -> int:
+        return -1
+
+    def end_span(self, span_id: int, source: str = "", **data: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, source: str = "", **data: Any) -> Iterator[int]:
+        yield -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullTracer()"
+
+
+#: shared disabled tracer — safe because it holds no state
+NULL_TRACER = NullTracer()

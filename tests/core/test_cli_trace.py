@@ -1,0 +1,43 @@
+"""CLI --trace: the run command writes parseable JSONL + prints a summary."""
+
+from repro.cli import main
+from repro.trace import EventKind, read_jsonl, trace_hash
+
+
+class TestCLITrace:
+    def test_run_with_trace_writes_parseable_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(["run", "linear-solver", "--scale", "0.1",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+
+        events = read_jsonl(str(trace_path))
+        assert events, "trace file must contain events"
+        kinds = {e.kind for e in events}
+        assert EventKind.TASK_START in kinds
+        assert EventKind.TASK_FINISH in kinds
+        assert EventKind.SCHEDULE_DECISION in kinds
+        assert EventKind.CHANNEL_SETUP in kinds
+
+        # summary table + hash render on stdout
+        assert "trace summary" in out
+        assert "phase timings" in out
+        assert "execution" in out
+        assert f"trace written to {trace_path}" in out
+        assert trace_hash(events)[:16] in out
+
+    def test_run_with_trace_and_monitoring(self, tmp_path, capsys):
+        trace_path = tmp_path / "mon.jsonl"
+        assert main(["run", "linear-solver", "--scale", "0.1", "--monitoring",
+                     "--trace", str(trace_path)]) == 0
+        events = read_jsonl(str(trace_path))
+        kinds = {e.kind for e in events}
+        # the run ends before the first echo round (5s period), but the
+        # monitor daemons report from t=0
+        assert EventKind.MONITOR_REPORT in kinds
+
+    def test_run_without_trace_writes_nothing(self, tmp_path, capsys):
+        assert main(["run", "linear-solver", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" not in out
+        assert list(tmp_path.iterdir()) == []

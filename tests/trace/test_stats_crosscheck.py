@@ -1,0 +1,85 @@
+"""Cross-check: trace event counts must equal RuntimeStats counters.
+
+RuntimeStats and the tracer observe the same actions through different
+mechanisms (aggregate counters vs. structured events); every counter
+with a corresponding event kind must agree exactly.  A divergence means
+an emit site and a counter increment drifted apart.
+"""
+
+from repro import VDCE, Tracer
+from repro.metrics import event_counts
+from repro.trace import EventKind
+from repro.workloads import linear_solver_afg
+
+
+def build_traced_env(**kwargs):
+    tracer = Tracer()
+    env = VDCE.standard(tracer=tracer, **kwargs)
+    return env, tracer
+
+
+class TestStatsCrosscheck:
+    def test_monitoring_counters_match_trace(self):
+        env, tracer = build_traced_env(n_sites=1, hosts_per_site=3, seed=0)
+        env.start_monitoring()
+
+        # a failure and a recovery so the notification paths fire
+        victim = env.topology.all_hosts[0].name
+        env.sim.call_at(6.0, lambda: env.topology.host(victim).fail())
+        env.sim.call_at(18.0, lambda: env.topology.host(victim).recover())
+        env.advance(30.0)
+
+        stats = env.runtime.stats
+        counts = event_counts(tracer)
+        assert counts[EventKind.MONITOR_REPORT] == stats.monitor_reports
+        assert counts[EventKind.ECHO] == stats.echo_packets
+        assert counts[EventKind.FAILURE_NOTIFICATION] == stats.failure_notifications
+        assert counts[EventKind.RECOVERY_NOTIFICATION] == stats.recovery_notifications
+        assert (
+            counts.get(EventKind.WORKLOAD_FORWARD, 0) == stats.workload_forwards
+        )
+        assert (
+            counts.get(EventKind.WORKLOAD_SUPPRESS, 0) == stats.workload_suppressed
+        )
+        # sanity: the failure actually happened and was noticed
+        assert stats.failure_notifications >= 1
+        assert stats.recovery_notifications >= 1
+
+    def test_execution_counters_match_trace(self):
+        env, tracer = build_traced_env(n_sites=2, hosts_per_site=3, seed=1)
+        env.submit(linear_solver_afg(scale=0.1), k=1)
+
+        stats = env.runtime.stats
+        counts = event_counts(tracer)
+        assert counts[EventKind.CHANNEL_SETUP] == stats.channel_setups
+        assert counts[EventKind.CHANNEL_ACK] == stats.channel_acks
+        assert counts[EventKind.STARTUP_SIGNAL] == stats.startup_signals
+        assert counts[EventKind.EXECUTION_REQUEST] == stats.execution_requests
+        assert counts[EventKind.DATA_TRANSFER] == stats.data_transfers
+        assert counts[EventKind.TASKPERF_UPDATE] == stats.taskperf_updates
+        assert (
+            counts[EventKind.AFG_MULTICAST] + counts[EventKind.BID_REPLY]
+            == stats.scheduler_messages
+        )
+        assert counts.get(EventKind.RESCHEDULE, 0) == stats.reschedule_requests
+        # sanity: this run exercised the paths being cross-checked
+        assert stats.channel_setups > 0
+        assert stats.data_transfers > 0
+
+    def test_reschedule_counter_matches_trace(self):
+        from repro.scheduler import SiteScheduler
+        from repro.workloads import linear_pipeline
+
+        env, tracer = build_traced_env(n_sites=1, hosts_per_site=3, seed=3)
+        afg = linear_pipeline(n_stages=3, cost=5.0)
+        rt = env.runtime
+        table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+        victim = table.get("s000").hosts[0]
+        proc = rt.execute_process(afg, table, execute_payloads=False)
+        env.sim.call_after(1.0, lambda: env.topology.host(victim).fail())
+        result = env.sim.run_until_complete(proc)
+        assert result.reschedules >= 1
+
+        counts = event_counts(tracer)
+        assert counts[EventKind.RESCHEDULE] == rt.stats.reschedule_requests
+        assert counts[EventKind.DATA_TRANSFER] == rt.stats.data_transfers
