@@ -8,6 +8,11 @@ Commands:
   ``random-dag``) and print the placement, Gantt chart and metrics;
 * ``monitor`` — run the control plane alone for a while and print the
   monitoring statistics and a load sparkline per host;
+* ``metrics`` — print a metrics snapshot (from a saved ``--metrics``
+  file, or a quick instrumented run) as Prometheus text or JSON;
+* ``analyze <trace> [<trace2>]`` — the trace-analysis toolkit: critical
+  path, per-host utilization, schedule lag; with two traces, the
+  structural diff (first divergent event + per-kind count deltas);
 * ``experiments`` — print the experiment index (DESIGN.md §4) and the
   bench command that regenerates each one;
 * ``serve`` — start the Flask web editor (requires flask).
@@ -100,11 +105,13 @@ def cmd_libraries(args) -> int:
 def cmd_run(args) -> int:
     from repro import VDCE
     from repro.metrics import summarize_result
+    from repro.metrics.registry import NULL_METRICS, MetricsRegistry
     from repro.trace import NULL_TRACER, Tracer
 
     tracer = Tracer() if args.trace else NULL_TRACER
+    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
     env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
-                        seed=args.seed, tracer=tracer)
+                        seed=args.seed, tracer=tracer, metrics=metrics)
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
@@ -145,16 +152,26 @@ def cmd_run(args) -> int:
         print(format_trace_summary(tracer))
         print(f"\ntrace written to {args.trace}  "
               f"(hash {env.trace_hash()[:16]}...)")
+    if args.metrics:
+        try:
+            env.save_metrics(args.metrics)
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics}: {exc}")
+            return 1
+        print(f"metrics snapshot written to {args.metrics}  "
+              f"(hash {env.metrics_hash()[:16]}...)")
     return 0
 
 
 def cmd_monitor(args) -> int:
     from repro import VDCE
+    from repro.metrics.registry import NULL_METRICS, MetricsRegistry
     from repro.sim.workload import OrnsteinUhlenbeckLoad, attach_generators
     from repro.viz import workload_sparkline
 
+    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
     env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
-                        seed=args.seed)
+                        seed=args.seed, metrics=metrics)
     samples = {h.name: [] for h in env.topology.all_hosts}
     attach_generators(
         env.sim, env.topology.all_hosts,
@@ -181,7 +198,76 @@ def cmd_monitor(args) -> int:
     for key, value in env.stats().items():
         if value:
             print(f"  {key:<26} {value}")
+    if args.metrics:
+        try:
+            env.save_metrics(args.metrics)
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics}: {exc}")
+            return 1
+        print(f"\nmetrics snapshot written to {args.metrics}  "
+              f"(hash {env.metrics_hash()[:16]}...)")
     return 0
+
+
+def cmd_metrics(args) -> int:
+    """Print a metrics snapshot as Prometheus text or canonical JSON."""
+    from repro.metrics.export import (
+        load_snapshot,
+        prometheus_from_snapshot,
+        snapshot_to_json,
+    )
+
+    if args.snapshot:
+        try:
+            snapshot = load_snapshot(args.snapshot)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load snapshot {args.snapshot}: {exc}")
+            return 1
+    else:
+        # no file: run a small instrumented deployment and export that
+        from repro import VDCE
+        from repro.metrics.registry import MetricsRegistry
+        from repro.workloads import linear_solver_afg
+
+        env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
+                            seed=args.seed, metrics=MetricsRegistry())
+        env.start_monitoring()
+        env.submit(linear_solver_afg(scale=0.15), k=1)
+        env.advance(5.0)
+        snapshot = env.metrics_snapshot()
+
+    if args.format == "json":
+        print(snapshot_to_json(snapshot), end="")
+    else:
+        print(prometheus_from_snapshot(snapshot), end="")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Analyze one saved trace, or structurally diff two."""
+    from repro.metrics.analysis import (
+        format_analysis,
+        format_structural_diff,
+        structural_diff,
+    )
+    from repro.trace.serialize import read_jsonl
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}")
+        return 1
+    if args.trace2 is None:
+        print(format_analysis(events, title=f"trace analysis — {args.trace}"))
+        return 0
+    try:
+        events2 = read_jsonl(args.trace2)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace2}: {exc}")
+        return 1
+    print(f"a: {args.trace}\nb: {args.trace2}")
+    print(format_structural_diff(events, events2))
+    return 0 if structural_diff(events, events2)["identical"] else 2
 
 
 def cmd_topology(args) -> int:
@@ -298,12 +384,14 @@ def cmd_selftest(args) -> int:
 def cmd_serve(args) -> int:  # pragma: no cover - starts a real server
     from repro import VDCE
     from repro.editor.webapp import create_webapp
+    from repro.metrics.registry import MetricsRegistry
 
     env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
-                        seed=args.seed)
+                        seed=args.seed, metrics=MetricsRegistry())
+    env.start_monitoring()
     app = create_webapp(env.runtime)
     print(f"VDCE web editor on http://127.0.0.1:{args.port} "
-          f"(user: admin / vdce-admin)")
+          f"(user: admin / vdce-admin, metrics at /metrics)")
     app.run(port=args.port)
     return 0
 
@@ -335,12 +423,35 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="PATH",
                      help="record a structured event trace to PATH (JSONL) "
                           "and print its summary + content hash")
+    run.add_argument("--metrics", metavar="PATH",
+                     help="record a metrics snapshot to PATH (canonical "
+                          "JSON) and print its content hash")
 
     mon = sub.add_parser("monitor", help="run the control plane alone")
     mon.add_argument("--sites", type=int, default=2)
     mon.add_argument("--hosts", type=int, default=3)
     mon.add_argument("--duration", type=float, default=60.0)
     mon.add_argument("--seed", type=int, default=0)
+    mon.add_argument("--metrics", metavar="PATH",
+                     help="record a metrics snapshot to PATH (canonical "
+                          "JSON) and print its content hash")
+
+    met = sub.add_parser("metrics",
+                         help="print a metrics snapshot (Prometheus or JSON)")
+    met.add_argument("snapshot", nargs="?",
+                     help="a snapshot file written by --metrics "
+                          "(default: run a quick instrumented deployment)")
+    met.add_argument("--format", choices=("prom", "json"), default="prom")
+    met.add_argument("--sites", type=int, default=2)
+    met.add_argument("--hosts", type=int, default=3)
+    met.add_argument("--seed", type=int, default=0)
+
+    ana = sub.add_parser("analyze",
+                         help="analyze a saved trace, or diff two")
+    ana.add_argument("trace", help="JSONL trace written by run --trace")
+    ana.add_argument("trace2", nargs="?",
+                     help="second trace: print the structural diff instead "
+                          "(exit 2 when the traces differ)")
 
     topo = sub.add_parser("topology", help="print the deployment diagram")
     topo.add_argument("--sites", type=int, default=2)
@@ -366,6 +477,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "libraries": cmd_libraries,
         "run": cmd_run,
         "monitor": cmd_monitor,
+        "metrics": cmd_metrics,
+        "analyze": cmd_analyze,
         "topology": cmd_topology,
         "experiments": cmd_experiments,
         "selftest": cmd_selftest,

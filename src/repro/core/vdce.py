@@ -6,6 +6,13 @@ from typing import Dict, List, Optional
 
 from repro.core.config import DeploymentSpec, SiteConfig
 from repro.editor.session import EditorSession
+from repro.metrics.export import (
+    prometheus_text,
+    registry_snapshot,
+    save_snapshot,
+    snapshot_hash,
+)
+from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.repository.store import SiteRepository
 from repro.repository.users import AccessDomain
 from repro.runtime.execution import ApplicationResult
@@ -45,12 +52,16 @@ class VDCE:
         default_site: Optional[str] = None,
         repositories=None,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         """``repositories`` (optional): pre-built/restored per-site
         repositories — e.g. from :meth:`load_repositories` — instead of
         bootstrapping fresh ones.  ``tracer`` (optional): a
         :class:`~repro.trace.tracer.Tracer` shared by every component;
-        the default no-op tracer records nothing."""
+        the default no-op tracer records nothing.  ``metrics``
+        (optional): a :class:`~repro.metrics.registry.MetricsRegistry`
+        shared the same way; the default no-op registry records
+        nothing."""
         if (spec is None) == (topology is None):
             raise ValueError("provide exactly one of spec or topology")
         self.spec = spec
@@ -64,6 +75,7 @@ class VDCE:
             model=model,
             default_site=default_site,
             tracer=tracer,
+            metrics=metrics,
         )
 
     # -- construction helpers ------------------------------------------------
@@ -215,6 +227,27 @@ class VDCE:
     def trace_hash(self) -> str:
         """Stable content hash of the recorded trace (regression oracle)."""
         return trace_hash(self.tracer)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.runtime.metrics
+
+    def metrics_snapshot(self) -> dict:
+        """Export end-of-run stats into the registry and snapshot it."""
+        return registry_snapshot(self.runtime.export_metrics())
+
+    def save_metrics(self, path: str) -> str:
+        """Write the metrics snapshot as canonical JSON; returns the path."""
+        save_snapshot(self.runtime.export_metrics(), path)
+        return path
+
+    def metrics_hash(self) -> str:
+        """Stable content hash of the snapshot (trace_hash's counterpart)."""
+        return snapshot_hash(self.metrics_snapshot())
+
+    def prometheus_metrics(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return prometheus_text(self.runtime.export_metrics())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

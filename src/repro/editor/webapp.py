@@ -21,9 +21,11 @@ Endpoints (all JSON):
     POST /applications/<app>/submit  {k?}                    -> result summary
     GET  /applications/<app>/result                           -> full result
     GET  /applications/<app>/gantt                            -> text chart
+    GET  /metrics                    (no auth)  -> Prometheus exposition
 
 Authentication: the token returned by /login goes in the
-``X-VDCE-Token`` header of every later request.
+``X-VDCE-Token`` header of every later request (``/metrics`` is the
+standard unauthenticated scrape target).
 
 Flask is an optional dependency (``pip install repro[web]``); importing
 this module without Flask raises a clear error.
@@ -111,8 +113,16 @@ def create_webapp(runtime: VDCERuntime, site: str | None = None):
             "POST /applications/<app>/validate",
             "POST /applications/<app>/submit {k?}",
             "GET  /applications/<app>/result | /gantt | /report",
+            "GET  /metrics                            -> Prometheus text",
         ]
         return "\n".join(lines), 200, {"Content-Type": "text/plain"}
+
+    @app.get("/metrics")
+    def metrics():
+        from repro.metrics.export import prometheus_text
+
+        text = prometheus_text(runtime.export_metrics())
+        return text, 200, {"Content-Type": "text/plain; version=0.0.4"}
 
     @app.post("/login")
     def login():

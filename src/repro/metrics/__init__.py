@@ -8,6 +8,34 @@ serial execution on the base processor, host utilisation, and the
 communication share of the makespan.
 """
 
+from repro.metrics.analysis import (
+    analyze_trace,
+    critical_path,
+    format_analysis,
+    format_structural_diff,
+    host_timelines,
+    schedule_lag,
+    structural_diff,
+)
+from repro.metrics.export import (
+    load_snapshot,
+    prometheus_from_snapshot,
+    prometheus_text,
+    registry_snapshot,
+    save_snapshot,
+    snapshot_hash,
+    snapshot_to_json,
+)
+from repro.metrics.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    Series,
+)
 from repro.metrics.schedule import (
     critical_path_cost,
     serial_cost,
@@ -33,7 +61,29 @@ from repro.metrics.trace_summary import (
 )
 
 __all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
     "ResultSummary",
+    "Series",
+    "analyze_trace",
+    "critical_path",
+    "format_analysis",
+    "format_structural_diff",
+    "host_timelines",
+    "load_snapshot",
+    "prometheus_from_snapshot",
+    "prometheus_text",
+    "registry_snapshot",
+    "save_snapshot",
+    "schedule_lag",
+    "snapshot_hash",
+    "snapshot_to_json",
+    "structural_diff",
     "busy_intervals",
     "concurrency_profile",
     "parallel_efficiency",

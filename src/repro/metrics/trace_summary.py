@@ -51,21 +51,41 @@ def events_by_source(trace: TraceLike) -> Dict[str, int]:
 
 
 def phase_timings(trace: TraceLike) -> Dict[str, Dict[str, float]]:
-    """Per-span-name aggregate timings from ``span_end`` events.
+    """Per-span-name aggregate timings from span events.
 
-    Returns ``{span_name: {"count": n, "total_s": sum, "max_s": max}}``.
-    Spans still open at capture time are simply absent (no end event).
+    Returns ``{span_name: {"count": n, "total_s": sum, "max_s": max,
+    "unclosed": k}}``.  Span events need not be balanced: begin/end
+    pairs are matched by ``span_id``, nested spans of the same name
+    aggregate independently, a ``span_begin`` with no matching end is
+    reported in ``unclosed`` (count/total cover completed spans only),
+    and a stray ``span_end`` still contributes its measured duration.
     """
     result: Dict[str, Dict[str, float]] = {}
+
+    def agg_of(name: str) -> Dict[str, float]:
+        return result.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0, "unclosed": 0}
+        )
+
+    #: open span_id -> span name (for begin/end pairing)
+    open_spans: Dict[object, str] = {}
     for event in _events_of(trace):
-        if event.kind != EventKind.SPAN_END:
-            continue
-        name = str(event.data.get("span", ""))
-        duration = float(event.data.get("duration", 0.0))
-        agg = result.setdefault(name, {"count": 0, "total_s": 0.0, "max_s": 0.0})
-        agg["count"] += 1
-        agg["total_s"] += duration
-        agg["max_s"] = max(agg["max_s"], duration)
+        if event.kind == EventKind.SPAN_BEGIN:
+            name = str(event.data.get("span", ""))
+            agg_of(name)["unclosed"] += 1
+            span_id = event.data.get("span_id")
+            if span_id is not None:
+                open_spans[span_id] = name
+        elif event.kind == EventKind.SPAN_END:
+            name = str(event.data.get("span", ""))
+            duration = float(event.data.get("duration", 0.0))
+            span_id = event.data.get("span_id")
+            agg = agg_of(open_spans.pop(span_id, name))
+            if agg["unclosed"] > 0:
+                agg["unclosed"] -= 1
+            agg["count"] += 1
+            agg["total_s"] += duration
+            agg["max_s"] = max(agg["max_s"], duration)
     return dict(sorted(result.items()))
 
 
@@ -77,14 +97,18 @@ def format_trace_summary(trace: TraceLike, title: str = "trace summary") -> str:
     sections = [
         format_table(count_rows, title=f"{title} — {len(events)} events"),
     ]
+    # empty phases (no completed span, nothing left open — e.g. monitor
+    # phases of a run with monitoring off) are suppressed entirely
     timing_rows = [
         {
             "phase": name,
             "count": int(agg["count"]),
             "total_s": round(agg["total_s"], 4),
             "max_s": round(agg["max_s"], 4),
+            "unclosed": int(agg["unclosed"]),
         }
         for name, agg in phase_timings(events).items()
+        if agg["count"] or agg["unclosed"]
     ]
     if timing_rows:
         sections.append(format_table(timing_rows, title="phase timings"))

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph, Edge
+from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.net.messages import EdgeKey
 from repro.net.proxy import CommunicationProxy, ProxyError
 from repro.scheduler.allocation import AllocationTable
@@ -71,14 +72,18 @@ class LocalDataManager:
         registry: Optional[TaskRegistry] = None,
         timeout_s: float = 30.0,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         """``tracer`` records the real run on the wall clock — construct
         it as ``Tracer(clock=time.monotonic)``.  Real-path traces are
         *not* deterministic (wall times vary); they exist for debugging
-        and for comparing event **counts** against the simulated path."""
+        and for comparing event **counts** against the simulated path.
+        ``metrics`` likewise measures the real path on the wall clock;
+        real-path snapshots are comparison aids, not oracles."""
         self.registry = registry or default_registry()
         self.timeout_s = timeout_s
         self.tracer = tracer
+        self.metrics = metrics
 
     def execute(
         self, afg: ApplicationFlowGraph, table: AllocationTable
@@ -191,6 +196,22 @@ class LocalDataManager:
 
         for channel in channels.values():
             channel.close()
+
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "vdce_real_channels_total", "TCP channels opened (real path)"
+            ).inc(len(channels))
+            self.metrics.counter(
+                "vdce_real_payload_bytes_total",
+                "pickled payload bytes sent through real sockets",
+            ).inc(sum(c.bytes_sent for c in channels.values()))
+            runtime_hist = self.metrics.histogram(
+                "vdce_real_task_wall_seconds",
+                "wall-clock task execution time (real path)",
+            )
+            for record in records.values():
+                if record.finished_at > 0:
+                    runtime_hist.observe(record.elapsed, host=record.host)
 
         if errors:
             raise errors[0]

@@ -370,6 +370,7 @@ class ExecutionCoordinator:
 
         # Push outputs down the channels as real transfers.
         network = self.runtime.topology.network
+        metrics = self.sim.metrics
         for edge in self.afg.out_edges(task_id):
             value = outputs[edge.src_port] if outputs else None
             src_host = self.assignment[task_id].primary_host
@@ -382,6 +383,12 @@ class ExecutionCoordinator:
             self._transferred_mb += edge.size_mb
             self.stats.data_transfers += 1
             self.stats.data_transferred_mb += edge.size_mb
+            if metrics.enabled:
+                metrics.histogram(
+                    "vdce_transfer_mb",
+                    "inter-task payload size per dataflow transfer",
+                    buckets=(0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0),
+                ).observe(edge.size_mb)
             if self.tracer.enabled:
                 self.tracer.emit(
                     EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
@@ -389,9 +396,15 @@ class ExecutionCoordinator:
                     edge=[edge.src, edge.dst], reason="dataflow",
                 )
             key = _edge_key(edge)
+            sent_at = self.sim.now
 
-            def deliver(key=key, value=value, transfer=transfer):
+            def deliver(key=key, value=value, transfer=transfer, sent_at=sent_at):
                 yield transfer.done
+                if self.sim.metrics.enabled:
+                    self.sim.metrics.histogram(
+                        "vdce_transfer_latency_seconds",
+                        "dataflow transfer time on the contended network",
+                    ).observe(self.sim.now - sent_at)
                 self._edge_value[key] = value
                 self._edge_ready[key].succeed(value)
 
@@ -439,12 +452,22 @@ class ExecutionCoordinator:
                 continue
 
             record.measured_time = self.sim.now - attempt_start
+            if self.sim.metrics.enabled:
+                self.sim.metrics.histogram(
+                    "vdce_task_runtime_seconds",
+                    "measured wall time of the successful task attempt",
+                ).observe(record.measured_time, site=record.site)
             return
 
     def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str):
         """Obtain a replacement placement and re-stage inputs onto it."""
         self._reschedules += 1
         self.stats.reschedule_requests += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "vdce_reschedules_total",
+                "task rescheduling requests, by originating site",
+            ).inc(site=self.assignment[node.id].site)
         if self.tracer.enabled:
             self.tracer.emit(
                 EventKind.RESCHEDULE, source=f"app:{self.afg.name}",

@@ -92,9 +92,15 @@ class GroupManager:
         The first measurement for a host is always significant (the
         Site Manager has nothing yet).
         """
+        metrics = self.sim.metrics
         last = self._last_forwarded.get(measurement.host)
         if last is not None and abs(measurement.load - last) < self.change_threshold:
             self.stats.workload_suppressed += 1
+            if metrics.enabled:
+                metrics.counter(
+                    "vdce_workload_suppressed_by_group_total",
+                    "measurements filtered by the significant-change test",
+                ).inc(group=self.name)
             if self.tracer.enabled:
                 self.tracer.emit(
                     EventKind.WORKLOAD_SUPPRESS, source=f"gm:{self.name}",
@@ -103,6 +109,11 @@ class GroupManager:
             return
         self._last_forwarded[measurement.host] = measurement.load
         self.stats.workload_forwards += 1
+        if metrics.enabled:
+            metrics.counter(
+                "vdce_workload_forwards_by_group_total",
+                "significant measurements forwarded to the Site Manager",
+            ).inc(group=self.name)
         if self.tracer.enabled:
             self.tracer.emit(
                 EventKind.WORKLOAD_FORWARD, source=f"gm:{self.name}",
@@ -127,8 +138,14 @@ class GroupManager:
         rng = self.sim.rng(f"echo:{self.name}")
         while True:
             yield Timeout(self.echo_period_s)
+            metrics = self.sim.metrics
             for host in self.group:
                 self.stats.echo_packets += 1
+                if metrics.enabled:
+                    metrics.counter(
+                        "vdce_echo_packets_by_group_total",
+                        "echo round trips attempted, per group",
+                    ).inc(group=self.name)
                 # an echo round trip on the LAN; the response reflects the
                 # host's state when the packet arrives, and may be lost
                 responded = host.is_up()

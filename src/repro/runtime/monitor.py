@@ -84,6 +84,22 @@ class MonitorDaemon:
             if self.host.is_up():
                 measurement = self.measure()
                 self.stats.monitor_reports += 1
+                metrics = self.sim.metrics
+                if metrics.enabled:
+                    metrics.counter(
+                        "vdce_monitor_reports_by_host_total",
+                        "monitor measurements taken, per host",
+                    ).inc(host=measurement.host)
+                    metrics.series(
+                        "vdce_host_load",
+                        "run-queue length sampled by the monitor daemon",
+                    ).observe(measurement.load, host=measurement.host)
+                    metrics.series(
+                        "vdce_host_available_memory_mb",
+                        "available memory sampled by the monitor daemon",
+                    ).observe(
+                        measurement.available_memory_mb, host=measurement.host
+                    )
                 if self.tracer.enabled:
                     self.tracer.emit(
                         EventKind.MONITOR_REPORT,

@@ -80,6 +80,14 @@ class SiteManager:
             available_memory_mb=measurement.available_memory_mb,
             time=self.sim.now,
         )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            # the site's *believed* queue depth — sparser than the raw
+            # vdce_host_load series by exactly the suppressed updates
+            metrics.series(
+                "vdce_site_queue_depth",
+                "per-host run-queue length as known at the Site Manager",
+            ).observe(measurement.load, site=self.name, host=measurement.host)
 
     def receive_failure(self, host_name: str) -> None:
         """Mark the host "down" at the site's resource-performance DB."""
@@ -159,6 +167,15 @@ class SiteManager:
             task_type, host, expected_s=expected_s, measured_s=measured_s
         )
         self.stats.taskperf_updates += 1
+        metrics = self.sim.metrics
+        if metrics.enabled and expected_s > 0:
+            # Predict(task, R) accuracy: measured / predicted, 1.0 = exact
+            metrics.histogram(
+                "vdce_prediction_error_ratio",
+                "measured / predicted task execution time",
+                buckets=(0.25, 0.5, 0.8, 0.9, 0.95, 1.0,
+                         1.05, 1.1, 1.25, 2.0, 4.0),
+            ).observe(measured_s / expected_s, site=self.name)
         if self.tracer.enabled:
             self.tracer.emit(
                 EventKind.TASKPERF_UPDATE, source=f"sm:{self.name}",
@@ -178,7 +195,10 @@ class SiteManager:
         Called by a peer Site Manager; the caller charges WAN latency
         and counts the messages.
         """
-        return select_hosts(afg, self.repository, model, tracer=self.tracer)
+        return select_hosts(
+            afg, self.repository, model,
+            tracer=self.tracer, metrics=self.sim.metrics,
+        )
 
     # -- rescheduling support --------------------------------------------------------
 

@@ -74,6 +74,24 @@ class RuntimeStats:
             + self.scheduler_messages
         )
 
+    def export_to(self, registry) -> None:
+        """Back every counter field by a registry counter.
+
+        Each field becomes ``vdce_<field>_total`` in the given
+        :class:`~repro.metrics.registry.MetricsRegistry`, written with
+        ``set_total`` so repeated exports stay idempotent.  The
+        dataclass API stays the in-run source (cheap increments on hot
+        paths); the registry becomes the queryable mirror — ``vdce
+        metrics`` and experiment assertions read the same numbers.
+        """
+        if not registry.enabled:
+            return
+        for field_name, value in self.as_dict().items():
+            registry.counter(
+                f"vdce_{field_name}_total",
+                f"RuntimeStats.{field_name} (runtime message counter)",
+            ).set_total(float(value))
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "monitor_reports": self.monitor_reports,

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.serialize import afg_to_json
+from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.repository.store import SiteRepository
 from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
@@ -97,6 +98,7 @@ class VDCERuntime:
         model: Optional[PredictionModel] = None,
         default_site: Optional[str] = None,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ):
         self.topology = topology
         self.sim: Simulator = topology.sim
@@ -107,6 +109,9 @@ class VDCERuntime:
         #: shared structured tracer (no-op by default); bound to the
         #: virtual clock and handed to every component below
         self.tracer = self.sim.attach_tracer(tracer)
+        #: shared metrics registry (no-op by default); components reach
+        #: it through ``self.sim.metrics``
+        self.metrics = self.sim.attach_metrics(metrics)
         self.default_site = default_site or topology.site_names[0]
 
         if repositories is None:
@@ -178,6 +183,30 @@ class VDCERuntime:
         for gm in self.group_managers.values():
             gm.start_echo()
 
+    # -- metrics ------------------------------------------------------------
+
+    def export_metrics(self) -> MetricsRegistry:
+        """Sync the registry with everything known at export time.
+
+        Folds the :class:`~repro.runtime.stats.RuntimeStats` counters
+        into registry counters (one source of truth for ``vdce
+        metrics`` and the E5–E8 assertions), sets the kernel gauges
+        (virtual time, event rate) and the monitoring suppression
+        ratio, then returns the registry.  Safe to call repeatedly; a
+        no-op on the disabled registry.
+        """
+        if self.metrics.enabled:
+            self.stats.export_to(self.metrics)
+            self.sim.export_metrics()
+            reports = self.stats.workload_forwards + self.stats.workload_suppressed
+            self.metrics.gauge(
+                "vdce_workload_suppression_ratio",
+                "share of monitor measurements the Group Managers filtered",
+            ).set(
+                self.stats.workload_suppressed / reports if reports else 0.0
+            )
+        return self.metrics
+
     def neighbor_order(self, site_name: str) -> List[str]:
         return self.topology.neighbor_sites(site_name)
 
@@ -215,6 +244,7 @@ class VDCERuntime:
 
         def exchange(remote: str):
             remote_server = self.topology.site(remote).server_host.name
+            exchange_started = self.sim.now
             # step 3: multicast the AFG
             self.stats.scheduler_messages += 1
             if self.tracer.enabled:
@@ -242,6 +272,12 @@ class VDCERuntime:
                 label=f"bids<-{remote}",
             )
             yield t2.done
+            if self.metrics.enabled:
+                self.metrics.histogram(
+                    "vdce_bid_latency_seconds",
+                    "AFG multicast -> bid reply round trip per remote site",
+                    buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+                ).observe(self.sim.now - exchange_started, site=remote)
 
         procs = [
             self.sim.process(exchange(r), name=f"sched-xchg:{r}") for r in remotes
@@ -250,8 +286,16 @@ class VDCERuntime:
             yield AllOf(procs)
 
         # placement itself (pure); its wall cost is negligible vs messages
-        table = scheduler.schedule(afg, view, tracer=self.tracer)
+        table = scheduler.schedule(
+            afg, view, tracer=self.tracer, metrics=self.metrics
+        )
         self.tracer.end_span(span_id, source=f"sm:{local_site}")
+        if self.metrics.enabled:
+            self.metrics.histogram(
+                "vdce_schedule_seconds",
+                "distributed scheduling time (multicast + bids + placement)",
+                buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+            ).observe(self.sim.now - started)
         return table, self.sim.now - started
 
     # -- execution -----------------------------------------------------------------

@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.task import TaskNode
+from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.repository.resources import HostRecord
 from repro.repository.store import SiteRepository
 from repro.scheduler.prediction import PredictionModel
@@ -172,13 +173,14 @@ def select_hosts(
     model: Optional[PredictionModel] = None,
     order: Optional[List[str]] = None,
     tracer: Tracer = NULL_TRACER,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> Dict[str, HostSelectionResult]:
     """Run Figure 3 at one site; return this site's bids, keyed by task id.
 
     ``order`` overrides the queue order (default: level priority); the
     E9 ablation passes a FIFO/topological order here.  ``tracer``
     records one :data:`~repro.trace.events.EventKind.HOST_BID` event
-    per bid produced.
+    per bid produced; ``metrics`` counts bids and declines per site.
     """
     model = model or PredictionModel()
     results: Dict[str, HostSelectionResult] = {}
@@ -223,7 +225,17 @@ def select_hosts(
         # in-round load of concurrent commitments added.
         bid = bid_for_task(task, repo, model, concurrent_commitments)
         if bid is None:
+            if metrics.enabled:
+                metrics.counter(
+                    "vdce_host_bid_declines_total",
+                    "tasks a site could not bid on (no feasible host)",
+                ).inc(site=repo.site_name)
             continue  # site cannot run this task; no bid
+        if metrics.enabled:
+            metrics.counter(
+                "vdce_host_bids_total",
+                "host-selection bids produced, per site",
+            ).inc(site=repo.site_name)
         if tracer.enabled:
             tracer.emit(
                 EventKind.HOST_BID, source=f"hostsel:{repo.site_name}",

@@ -43,6 +43,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.levels import compute_levels
+from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.afg.validate import validate_afg
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.scheduler.federation import FederationView
@@ -103,9 +104,12 @@ class SiteScheduler:
         afg: ApplicationFlowGraph,
         view: FederationView,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> AllocationTable:
         """Run Figure 2 and return the resource allocation table."""
-        table, _ = self.schedule_with_trace(afg, view, tracer=tracer)
+        table, _ = self.schedule_with_trace(
+            afg, view, tracer=tracer, metrics=metrics
+        )
         return table
 
     def schedule_with_trace(
@@ -113,6 +117,7 @@ class SiteScheduler:
         afg: ApplicationFlowGraph,
         view: FederationView,
         tracer: Tracer = NULL_TRACER,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> Tuple[AllocationTable, List[str]]:
         """As :meth:`schedule`, also returning the placement order.
 
@@ -174,6 +179,15 @@ class SiteScheduler:
                     predicted_time=assignment.predicted_time,
                     level=levels[task_id],
                 )
+            if metrics.enabled:
+                metrics.counter(
+                    "vdce_schedule_decisions_total",
+                    "tasks placed by the site scheduler, per chosen site",
+                ).inc(site=assignment.site)
+                metrics.histogram(
+                    "vdce_predicted_task_seconds",
+                    "Predict(task, R) of the winning bid",
+                ).observe(assignment.predicted_time)
             table.assign(assignment)
             for host_name in assignment.hosts:
                 committed.setdefault(host_name, []).append(task_id)

@@ -20,12 +20,19 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 import numpy as np
 
 from repro.trace.events import EventKind
 from repro.trace.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.registry import MetricsRegistry
+
+# the registry import is deferred to Simulator.__init__: repro.metrics's
+# package init reaches repro.sim.host (via the repository), which would
+# close an import cycle through this module
 
 __all__ = [
     "AllOf",
@@ -383,6 +390,8 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
+        from repro.metrics.registry import NULL_METRICS
+
         self.seed = int(seed)
         self.now: float = 0.0
         self._queue: list[_ScheduledCall] = []
@@ -392,6 +401,10 @@ class Simulator:
         self._trace: Optional[list[tuple[float, str, dict]]] = None
         #: structured tracer (no-op unless a real Tracer is attached)
         self.tracer: Tracer = NULL_TRACER
+        #: metrics registry (no-op unless a real registry is attached)
+        self.metrics: MetricsRegistry = NULL_METRICS
+        self._metric_events = NULL_METRICS.counter("")
+        self._metric_depth = NULL_METRICS.histogram("")
         self.events_processed = 0
 
     # -- randomness -----------------------------------------------------
@@ -418,6 +431,40 @@ class Simulator:
         self.tracer = tracer
         tracer.bind_clock(lambda: self.now)
         return tracer
+
+    # -- metrics ----------------------------------------------------------
+
+    def attach_metrics(self, registry: MetricsRegistry) -> MetricsRegistry:
+        """Install a metrics registry and bind it to the virtual clock.
+
+        The kernel contributes the event-loop instruments (events
+        processed, calendar-queue depth); the rest of the stack shares
+        the same registry through
+        :class:`~repro.runtime.vdce_runtime.VDCERuntime`.
+        """
+        self.metrics = registry
+        registry.bind_clock(lambda: self.now)
+        self._metric_events = registry.counter(
+            "sim_events_total", "kernel calendar events executed"
+        )
+        self._metric_depth = registry.histogram(
+            "sim_queue_depth",
+            "pending calendar-queue depth sampled at each event",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+        )
+        return registry
+
+    def export_metrics(self) -> None:
+        """Set the kernel's end-of-run gauges (virtual time, event rate)."""
+        if not self.metrics.enabled:
+            return
+        self.metrics.gauge(
+            "sim_virtual_time_seconds", "virtual clock at export time"
+        ).set(self.now)
+        self.metrics.gauge(
+            "sim_events_per_sim_second",
+            "events executed per unit of virtual time",
+        ).set(self.events_processed / self.now if self.now > 0 else 0.0)
 
     def enable_trace(self) -> None:
         """Record ``(time, kind, payload)`` tuples for visualisation/tests."""
@@ -482,6 +529,9 @@ class Simulator:
             call = heapq.heappop(self._queue)
             self.now = call.time
             self.events_processed += 1
+            if self.metrics.enabled:
+                self._metric_events.inc()
+                self._metric_depth.observe(len(self._queue))
             call.callback()
             self._raise_unobserved_failures()
         if until is not None and self.now < until and (

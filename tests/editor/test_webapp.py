@@ -159,3 +159,35 @@ class TestEditorFlow:
         client.post("/applications", json={"name": "b"}, headers=headers)
         body = client.get("/applications", headers=headers).get_json()
         assert body["applications"] == ["a", "b"]
+
+
+class TestMetricsRoute:
+    def test_metrics_route_serves_prometheus_text(self):
+        from repro.metrics.registry import MetricsRegistry
+        from repro.runtime import RuntimeConfig, VDCERuntime
+        from repro.sim import TopologyBuilder
+
+        builder = TopologyBuilder(seed=0).wan_defaults(0.02, 2.0)
+        builder.site("alpha", hosts=[("a1", 1.0, 256), ("a2", 2.0, 256)])
+        topo = builder.build()
+        rt = VDCERuntime(topo, config=RuntimeConfig(),
+                         metrics=MetricsRegistry())
+        rt.start_monitoring()
+        rt.sim.run(until=10.0)
+
+        app = create_webapp(rt, site="alpha")
+        app.config["TESTING"] = True
+        client = app.test_client()
+
+        # no auth required: /metrics is a scrape target
+        response = client.get("/metrics")
+        assert response.status_code == 200
+        assert response.content_type.startswith("text/plain")
+        body = response.get_data(as_text=True)
+        assert "# TYPE sim_events_total counter" in body
+        assert "vdce_monitor_reports_by_host_total" in body
+
+    def test_metrics_route_with_disabled_registry_is_empty(self, client):
+        response = client.get("/metrics")
+        assert response.status_code == 200
+        assert response.get_data(as_text=True) == ""

@@ -1,0 +1,100 @@
+"""phase_timings span pairing: unbalanced, nested, stray ends, suppression."""
+
+from repro.metrics.trace_summary import format_trace_summary, phase_timings
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.tracer import Tracer
+
+
+def _span_begin(time, seq, name, span_id):
+    return TraceEvent(time=time, seq=seq, kind=EventKind.SPAN_BEGIN,
+                      source="t", data={"span": name, "span_id": span_id})
+
+
+def _span_end(time, seq, name, span_id, duration):
+    return TraceEvent(time=time, seq=seq, kind=EventKind.SPAN_END,
+                      source="t",
+                      data={"span": name, "span_id": span_id,
+                            "duration": duration})
+
+
+class TestPhaseTimings:
+    def test_balanced_spans(self):
+        events = [
+            _span_begin(0.0, 0, "sched", 1),
+            _span_end(1.5, 1, "sched", 1, 1.5),
+        ]
+        agg = phase_timings(events)["sched"]
+        assert agg == {"count": 1, "total_s": 1.5, "max_s": 1.5, "unclosed": 0}
+
+    def test_unclosed_span_is_reported_not_counted(self):
+        events = [
+            _span_begin(0.0, 0, "exec", 1),
+            _span_begin(1.0, 1, "exec", 2),
+            _span_end(2.0, 2, "exec", 2, 1.0),
+        ]
+        agg = phase_timings(events)["exec"]
+        assert agg["count"] == 1
+        assert agg["total_s"] == 1.0
+        assert agg["unclosed"] == 1
+
+    def test_nested_same_name_spans_aggregate_independently(self):
+        events = [
+            _span_begin(0.0, 0, "x", 1),
+            _span_begin(1.0, 1, "x", 2),
+            _span_end(2.0, 2, "x", 2, 1.0),
+            _span_end(5.0, 3, "x", 1, 5.0),
+        ]
+        agg = phase_timings(events)["x"]
+        assert agg["count"] == 2
+        assert agg["total_s"] == 6.0
+        assert agg["max_s"] == 5.0
+        assert agg["unclosed"] == 0
+
+    def test_stray_end_without_begin_still_contributes(self):
+        events = [_span_end(3.0, 0, "orphan", 99, 3.0)]
+        agg = phase_timings(events)["orphan"]
+        assert agg["count"] == 1
+        assert agg["total_s"] == 3.0
+        assert agg["unclosed"] == 0  # clamped, never negative
+
+    def test_tracer_round_trip(self):
+        tracer = Tracer()
+        clock = [0.0]
+        tracer.bind_clock(lambda: clock[0])
+        with tracer.span("a"):
+            clock[0] = 2.0
+        sid = tracer.begin_span("b")  # left open on purpose
+        assert sid is not None
+        timings = phase_timings(tracer)
+        assert timings["a"]["count"] == 1
+        assert timings["a"]["total_s"] == 2.0
+        assert timings["b"] == {"count": 0, "total_s": 0.0, "max_s": 0.0,
+                                "unclosed": 1}
+
+
+class TestFormatTraceSummary:
+    def test_empty_phases_are_suppressed(self):
+        events = [
+            _span_begin(0.0, 0, "used", 1),
+            _span_end(1.0, 1, "used", 1, 1.0),
+            # "ghost" opened and closed with zero completions would only
+            # arise from a broken emitter; simulate via a zero-count agg
+        ]
+        text = format_trace_summary(events)
+        assert "used" in text
+        assert "phase timings" in text
+
+    def test_no_spans_means_no_timing_table(self):
+        events = [
+            TraceEvent(time=0.0, seq=0, kind=EventKind.MONITOR_REPORT,
+                       source="m", data={"host": "h0"}),
+        ]
+        text = format_trace_summary(events)
+        assert "phase timings" not in text
+        assert "monitor_report" in text
+
+    def test_unclosed_column_rendered(self):
+        events = [_span_begin(0.0, 0, "hung", 1)]
+        text = format_trace_summary(events)
+        assert "unclosed" in text
+        assert "hung" in text
