@@ -9,14 +9,34 @@ Exercises the paper's §4.1 machinery end to end:
   replacement host and re-stages its inputs;
 * a second scenario triggers the *load-threshold* path instead — the
   Application Controller terminates a task whose host got busy and
-  requests rescheduling.
+  requests rescheduling;
+* a third scenario partitions the WAN mid-execution: an in-flight
+  cross-site pipeline survives by retrying its killed transfers and
+  re-establishing channels once the partition heals, while an
+  application submitted *during* the partition degrades gracefully to
+  local-only placement (no remote site answers the AFG multicast
+  before the bid deadline).
 
 Run:  python examples/fault_tolerant_pipeline.py
+
+Expected output of scenario 3 (seed-pinned, deterministic):
+
+    ================================================================
+    scenario 3: WAN partition mid-execution
+    ================================================================
+    pipeline placed across sites: ['site-0', 'site-1']
+    partitioning site-0 | site-1 at t=+1.0s for 8.0s
+    in-flight app survived the partition: True
+      transfer retries: 4, channel re-establishes: 4
+    app submitted during partition placed on: ['site-0'] (local-only)
+    site scheduler timed-out RPCs: 4
 """
 
 from repro import VDCE
 from repro.runtime import RuntimeConfig
 from repro.scheduler import SiteScheduler
+from repro.scheduler.allocation import AllocationTable, TaskAssignment
+from repro.sim import FailureInjector
 from repro.workloads import linear_pipeline
 
 
@@ -82,6 +102,67 @@ def load_threshold_scenario() -> None:
     print(f"makespan={result.makespan:.2f}s")
 
 
+def partition_scenario() -> None:
+    print()
+    print("=" * 64)
+    print("scenario 3: WAN partition mid-execution")
+    print("=" * 64)
+    env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=7)
+    env.start_monitoring()
+
+    # pin a pipeline across both sites so its dataflow crosses the WAN
+    afg = linear_pipeline(n_stages=4, cost=2.0, edge_mb=8.0)
+    hosts = {s: sorted(env.topology.site(s).hosts) for s in env.sites}
+    table = AllocationTable(afg.name, scheduler="manual")
+    placements = {
+        "s000": ("site-0", hosts["site-0"][0]),
+        "s001": ("site-0", hosts["site-0"][1]),
+        "s002": ("site-1", hosts["site-1"][0]),
+        "s003": ("site-1", hosts["site-1"][1]),
+    }
+    for task_id, (site, host) in placements.items():
+        table.assign(TaskAssignment(task_id, site, (host,), 1.0))
+    print(f"pipeline placed across sites: {table.sites_used()}")
+
+    injector = FailureInjector(env.sim)
+    injector.schedule_partition(
+        env.topology.network, [["site-0"], ["site-1"]], start=1.0, duration=8.0
+    )
+    print("partitioning site-0 | site-1 at t=+1.0s for 8.0s")
+
+    proc = env.runtime.execute_process(afg, table, submit_site="site-0")
+
+    # meanwhile a second user submits from site-0 while the WAN is down:
+    # the AFG multicast to site-1 times out and placement degrades to
+    # local-only instead of blocking on the unreachable site
+    placed = {}
+
+    def submit_during_partition():
+        afg2 = linear_pipeline(n_stages=3, cost=4.0)
+        afg2.name = "during-partition"
+        table2, _ = yield from env.runtime.schedule_process(
+            afg2, SiteScheduler(k=1), local_site="site-0"
+        )
+        placed["table"] = table2
+
+    env.sim.call_after(
+        3.0, lambda: env.sim.process(submit_during_partition())
+    )
+
+    result = env.sim.run_until_complete(proc, limit=1e5)
+    if "table" not in placed:  # drain the second app's scheduling round
+        env.sim.run(until=env.sim.now + 60.0)
+
+    print(f"in-flight app survived the partition: "
+          f"{result.makespan > 0 and not env.topology.network.partitioned}")
+    print(f"  transfer retries: {result.transfer_retries}, "
+          f"channel re-establishes: {result.channel_reestablishes}")
+    print(f"app submitted during partition placed on: "
+          f"{placed['table'].sites_used()} (local-only)")
+    print(f"site scheduler timed-out RPCs: {env.runtime.stats.rpc_timeouts}")
+
+
 if __name__ == "__main__":
     crash_scenario()
     load_threshold_scenario()
+    partition_scenario()

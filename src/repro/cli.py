@@ -396,6 +396,78 @@ def cmd_serve(args) -> int:  # pragma: no cover - starts a real server
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a chaos campaign; exit 1 on any invariant violation."""
+    import json as _json
+
+    from repro.sim.chaos import ChaosConfig, run_campaign, smoke_config
+
+    if args.smoke:
+        config = smoke_config(seed=args.seed)
+    else:
+        config = ChaosConfig(
+            seed=args.seed,
+            n_sites=args.sites,
+            hosts_per_site=args.hosts,
+            n_apps=args.apps,
+            duration_s=args.duration,
+        )
+
+    report = run_campaign(config)
+    print(f"chaos campaign (seed={config.seed}): "
+          f"{len(report.outcomes)} applications, "
+          f"{report.injection_events} fault events, "
+          f"{report.detections} detections "
+          f"({report.false_positives} false positives)")
+    for name in sorted(report.outcomes):
+        outcome = report.outcomes[name]
+        line = f"  {name}: {outcome['status']}"
+        if outcome["status"] == "completed":
+            line += (f" (makespan {outcome['makespan_s']:.2f}s, "
+                     f"{outcome['reschedules']} reschedules, "
+                     f"{outcome['transfer_retries']} transfer retries)")
+        else:
+            line += f" ({outcome.get('error', '?')})"
+        print(line)
+
+    hashes = {
+        "trace": report.trace_hash,
+        "metrics": report.metrics_hash,
+        "campaign": report.campaign_hash(),
+    }
+    if args.check_determinism:
+        second = run_campaign(config)
+        same = (second.trace_hash == report.trace_hash
+                and second.metrics_hash == report.metrics_hash
+                and second.campaign_hash() == hashes["campaign"])
+        print(f"determinism: {'byte-identical' if same else 'MISMATCH'}")
+        if not same:
+            report.violations.append(
+                "I3: second run of the same config produced different hashes"
+            )
+
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"campaign log written to {args.log}")
+    if args.hashes:
+        with open(args.hashes, "w", encoding="utf-8") as fh:
+            _json.dump(hashes, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"hashes written to {args.hashes}")
+
+    print(f"trace hash:    {report.trace_hash}")
+    print(f"campaign hash: {hashes['campaign']}")
+    if report.violations:
+        print(f"\n{len(report.violations)} invariant violation(s):")
+        for violation in report.violations:
+            print(f"  {violation}")
+        return 1
+    print("all invariants held")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -458,6 +530,24 @@ def build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--hosts", type=int, default=4)
     topo.add_argument("--seed", type=int, default=0)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a randomized fault campaign and check its invariants")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="the small, fast campaign CI runs")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--sites", type=int, default=3)
+    chaos.add_argument("--hosts", type=int, default=4)
+    chaos.add_argument("--apps", type=int, default=4)
+    chaos.add_argument("--duration", type=float, default=300.0)
+    chaos.add_argument("--check-determinism", action="store_true",
+                       help="run the campaign twice and require "
+                            "byte-identical trace/metrics/campaign hashes")
+    chaos.add_argument("--log", metavar="PATH",
+                       help="write the full campaign report (JSON) to PATH")
+    chaos.add_argument("--hashes", metavar="PATH",
+                       help="write the trace/metrics/campaign hashes to PATH")
+
     sub.add_parser("experiments", help="print the experiment index")
 
     sub.add_parser("selftest", help="quick end-to-end health check")
@@ -479,6 +569,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "monitor": cmd_monitor,
         "metrics": cmd_metrics,
         "analyze": cmd_analyze,
+        "chaos": cmd_chaos,
         "topology": cmd_topology,
         "experiments": cmd_experiments,
         "selftest": cmd_selftest,

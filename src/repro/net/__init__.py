@@ -30,15 +30,20 @@ from repro.net.messages import (
     write_message,
 )
 from repro.net.proxy import CommunicationProxy, ProxyError
+from repro.net.rpc import ControlPlane, RetryPolicy, RpcError, RpcTimeout
 
 __all__ = [
     "Ack",
     "ChannelSetup",
     "CommunicationProxy",
+    "ControlPlane",
     "Data",
     "Fin",
     "Message",
     "ProxyError",
+    "RetryPolicy",
+    "RpcError",
+    "RpcTimeout",
     "read_message",
     "write_message",
 ]

@@ -1,0 +1,268 @@
+"""Control-plane RPC over the simulated network: timeouts and retries.
+
+The paper's prototype assumed a friendly campus LAN: the AFG multicast
+(Fig. 2 step 3), the bid replies, the allocation-table distribution and
+the Group Manager's failure reports were all fire-and-forget.  The grid
+middleware that followed VDCE treats unreachable sites and lossy
+control messages as the common case, so this module wraps every
+control-plane exchange in the standard machinery:
+
+* a per-message **timeout** (the sender stops waiting);
+* **bounded retries** with **exponential backoff** and deterministic
+  jitter, drawn from per-peer RNG streams (``rpc:<src>-><dst>``) so a
+  retry on one path never perturbs another path's draws;
+* **fail-fast** on a link known to be down (a connect error is
+  immediate, unlike a lost datagram which burns the full timeout).
+
+Message loss and extra delay come from the per-link ``loss_prob`` /
+``extra_delay_s`` knobs on :class:`repro.sim.network.Link` — they apply
+only to control messages sent through this layer, never to bulk data
+transfers.  With the default lossless links and all links up, a
+:meth:`ControlPlane.request` costs exactly one request transfer plus
+one reply transfer and draws no random numbers, so fault-free runs keep
+their fault-free timing.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import AnyOf, Simulator, Timeout
+from repro.sim.network import LinkDownError, Network
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+__all__ = ["ControlPlane", "RetryPolicy", "RpcError", "RpcTimeout"]
+
+
+class RpcError(RuntimeError):
+    """Base class for control-plane RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """All attempts of a request timed out or were lost."""
+
+    def __init__(self, label: str, attempts: int):
+        super().__init__(f"rpc {label!r} failed after {attempts} attempt(s)")
+        self.label = label
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff knobs for one class of control messages.
+
+    ``backoff(attempt, u)`` returns the pause after the given (1-based)
+    failed attempt: ``base * factor**(attempt-1)`` stretched by up to
+    ``jitter_frac`` using the caller-supplied uniform draw ``u`` — the
+    jitter source stays in the caller's RNG stream, keeping runs
+    deterministic.
+    """
+
+    timeout_s: float = 1.0
+    max_attempts: int = 4
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base_s >= 0 and backoff_factor >= 1 required")
+        if not (0.0 <= self.jitter_frac <= 1.0):
+            raise ValueError("jitter_frac must be in [0, 1]")
+
+    def backoff(self, attempt: int, u: float) -> float:
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.jitter_frac * float(u))
+
+
+class ControlPlane:
+    """Request/reply and notification messaging for one deployment.
+
+    All methods are pure simulation constructs: :meth:`request` is a
+    generator to ``yield from`` inside a simulated process, and
+    :meth:`notify_lan` is callback-based (no process spawn) so the
+    high-rate Group Manager -> Site Manager path stays cheap.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        stats=None,
+        policy: RetryPolicy = RetryPolicy(),
+        tracer: Tracer = NULL_TRACER,
+    ):
+        self.sim = sim
+        self.network = network
+        self.stats = stats
+        self.policy = policy
+        self.tracer = tracer
+
+    # -- request/reply -----------------------------------------------------
+
+    def request(
+        self,
+        src_host: str,
+        dst_host: str,
+        handler: Callable[[], Any],
+        payload_mb: float = 0.0,
+        reply_mb: Any = 0.0,
+        label: str = "rpc",
+        policy: Optional[RetryPolicy] = None,
+        transport: str = "transfer",
+        on_send: Optional[Callable[[int], None]] = None,
+        on_reply: Optional[Callable[[int], None]] = None,
+    ):
+        """Round-trip RPC generator; returns ``handler()``'s value.
+
+        ``handler`` runs at the destination once the request arrives; if
+        it returns a generator, the generator is driven inside the RPC
+        (server-side work that takes simulated time).  Retries re-run it
+        — at-least-once semantics, like every retried RPC; handlers must
+        be idempotent.  ``reply_mb`` may be a callable mapping the
+        handler's value to a size.  ``transport`` is ``"transfer"``
+        (bandwidth-shared message) or ``"latency"`` (latency-only
+        signalling, e.g. channel setup).  ``on_send`` / ``on_reply`` run
+        once per attempt whose request/reply message is actually put on
+        the wire — the hook point for per-message counters and trace
+        events.
+
+        Raises :class:`RpcTimeout` when every attempt fails.
+        """
+        policy = policy or self.policy
+        src_site = self.network.site_of(src_host)
+        dst_site = self.network.site_of(dst_host)
+        rng = self.sim.rng(f"rpc:{src_site}->{dst_site}")
+        for attempt in range(1, policy.max_attempts + 1):
+            started = self.sim.now
+            if on_send is not None:
+                on_send(attempt)
+            delivered = yield from self._leg(
+                src_host, dst_host, payload_mb, f"{label}:req",
+                policy, rng, started, transport,
+            )
+            if delivered:
+                value = handler()
+                if inspect.isgenerator(value):
+                    value = yield from value
+                if on_reply is not None:
+                    on_reply(attempt)
+                size = reply_mb(value) if callable(reply_mb) else reply_mb
+                acked = yield from self._leg(
+                    dst_host, src_host, size, f"{label}:rep",
+                    policy, rng, started, transport,
+                )
+                if acked:
+                    return value
+            if self.stats is not None:
+                self.stats.rpc_retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.RPC_RETRY, source=f"rpc:{src_site}",
+                    label=label, attempt=attempt, dst=dst_site,
+                )
+            if attempt < policy.max_attempts:
+                yield Timeout(policy.backoff(attempt, float(rng.uniform())))
+        if self.stats is not None:
+            self.stats.rpc_timeouts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.RPC_TIMEOUT, source=f"rpc:{src_site}",
+                label=label, dst=dst_site, attempts=policy.max_attempts,
+            )
+        raise RpcTimeout(label, policy.max_attempts)
+
+    def _leg(self, src, dst, size_mb, label, policy, rng, started, transport):
+        """One message leg; True iff delivered within the attempt deadline."""
+        remaining = policy.timeout_s - (self.sim.now - started)
+        if remaining <= 0:
+            return False
+        link = self.network.link_between(src, dst)
+        if link is not None:
+            if not link.up:
+                return False  # connect error: fail fast, no time burned
+            if link.loss_prob > 0.0 and float(rng.uniform()) < link.loss_prob:
+                # the message vanishes; the sender finds out via the timer
+                yield Timeout(remaining)
+                return False
+            if link.extra_delay_s > 0.0:
+                delay = min(link.extra_delay_s, remaining)
+                yield Timeout(delay)
+                remaining -= delay
+                if remaining <= 0:
+                    return False
+        if transport == "latency":
+            latency = link.spec.latency_s if link is not None else 0.0
+            if latency > remaining:
+                yield Timeout(remaining)
+                return False
+            yield Timeout(latency)
+            return link is None or link.up
+        transfer = self.network.transfer(src, dst, size_mb, label=label)
+        try:
+            index, _value = yield AnyOf([transfer.done, Timeout(remaining)])
+        except LinkDownError:
+            return False
+        return index == 0
+
+    # -- one-way notifications --------------------------------------------
+
+    def notify_lan(
+        self,
+        link,
+        deliver: Callable[[], None],
+        latency_s: float,
+        label: str = "notify",
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        """One-way intra-site message with loss-aware bounded retries.
+
+        Callback-based (no kernel process): on lossless links this is
+        exactly ``call_after(latency_s, deliver)`` — the Group Manager's
+        original notification path — with zero extra events or RNG
+        draws.  Under loss or a down LAN it retries with backoff, giving
+        up silently after ``max_attempts`` (one-way messages have no
+        caller to raise into; the periodic echo loop re-notifies).
+        """
+        policy = policy or self.policy
+        rng_name = f"rpc:{label}"
+
+        def attempt(n: int) -> None:
+            down = link is not None and not link.up
+            loss_p = link.loss_prob if link is not None else 0.0
+            lost = down or (
+                loss_p > 0.0 and float(self.sim.rng(rng_name).uniform()) < loss_p
+            )
+            if not lost:
+                extra = link.extra_delay_s if link is not None else 0.0
+                self.sim.call_after(latency_s + extra, deliver)
+                return
+            if self.stats is not None:
+                self.stats.rpc_retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.RPC_RETRY, source=f"rpc:{label}",
+                    label=label, attempt=n, one_way=True,
+                )
+            if n < policy.max_attempts:
+                backoff = policy.backoff(n, float(self.sim.rng(rng_name).uniform()))
+                self.sim.call_after(backoff, lambda: attempt(n + 1))
+            else:
+                if self.stats is not None:
+                    self.stats.rpc_timeouts += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.RPC_TIMEOUT, source=f"rpc:{label}",
+                        label=label, attempts=policy.max_attempts, one_way=True,
+                    )
+
+        attempt(1)

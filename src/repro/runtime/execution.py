@@ -39,10 +39,12 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph, Edge
 from repro.afg.task import TaskNode
+from repro.net.rpc import RpcTimeout
 from repro.runtime.stats import RuntimeStats
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.sim.host import HostDownError, Interrupted
 from repro.sim.kernel import AllOf, Signal, Simulator, Timeout
+from repro.sim.network import LinkDownError
 from repro.trace.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +54,10 @@ __all__ = ["ApplicationResult", "ExecutionCoordinator", "ExecutionError", "TaskR
 
 #: small fixed cost of emitting the startup broadcast
 _STARTUP_BROADCAST_S = 0.001
+#: approximate wire size of one task's allocation-table row, MB
+_ALLOC_BYTES_PER_TASK_MB = 0.0002
+#: approximate wire size of an allocation acknowledgement, MB
+_ALLOC_ACK_BYTES_MB = 0.00005
 
 
 class ExecutionError(RuntimeError):
@@ -72,6 +78,10 @@ class TaskRecord:
     measured_time: float = 0.0
     attempts: int = 0
     reschedule_reasons: List[str] = field(default_factory=list)
+    #: payload transfers re-sent after a link outage killed them
+    transfer_retries: int = 0
+    #: inter-task channels re-established after dying mid-flight
+    channel_reestablishes: int = 0
 
     @property
     def was_rescheduled(self) -> bool:
@@ -110,6 +120,8 @@ class ApplicationResult:
             "reschedules": self.reschedules,
             "data_transfers": self.data_transfers,
             "data_transferred_mb": self.data_transferred_mb,
+            "transfer_retries": self.transfer_retries,
+            "channel_reestablishes": self.channel_reestablishes,
             "tasks": {
                 task_id: {
                     "task_type": r.task_type,
@@ -121,10 +133,22 @@ class ApplicationResult:
                     "finished_at": r.finished_at,
                     "attempts": r.attempts,
                     "reschedule_reasons": list(r.reschedule_reasons),
+                    "transfer_retries": r.transfer_retries,
+                    "channel_reestablishes": r.channel_reestablishes,
                 }
                 for task_id, r in self.records.items()
             },
         }
+
+    @property
+    def transfer_retries(self) -> int:
+        """Payload transfers re-sent after link outages, across all tasks."""
+        return sum(r.transfer_retries for r in self.records.values())
+
+    @property
+    def channel_reestablishes(self) -> int:
+        """Channels re-established mid-execution, across all tasks."""
+        return sum(r.channel_reestablishes for r in self.records.values())
 
     @property
     def setup_time(self) -> float:
@@ -189,6 +213,13 @@ class ExecutionCoordinator:
         self._transfers = 0
         self._transferred_mb = 0.0
         self._reschedules = 0
+        self.control = runtime.control
+        self.rpc_policy = runtime.config.rpc_policy
+        self.data_policy = runtime.config.data_policy
+        #: sites that never acknowledged their allocation portion
+        self._unreachable_sites: set = set()
+        #: task -> reasons for pre-execution moves off unreachable sites
+        self._pre_execution_moves: Dict[str, List[str]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -217,16 +248,24 @@ class ExecutionCoordinator:
         if self.tracer.enabled:
             self.tracer.emit(EventKind.STARTUP_SIGNAL, source=source)
 
-        # Phase 4: per-task processes; wait for all of them.
-        with self.tracer.span("execution", source=source):
-            procs = [
-                self.sim.process(
-                    self._task_process(task_id), name=f"task:{self.afg.name}:{task_id}"
-                )
-                for task_id in self.afg.topological_order()
-            ]
-            for proc in procs:
-                yield proc
+        # Phase 4: per-task processes; wait for all of them.  AllOf
+        # subscribes (and so observes) every process up front: when one
+        # task fails terminally, the first error propagates here as a
+        # typed ExecutionError while sibling failures stay observed.
+        try:
+            with self.tracer.span("execution", source=source):
+                procs = [
+                    self.sim.process(
+                        self._task_process(task_id),
+                        name=f"task:{self.afg.name}:{task_id}",
+                    )
+                    for task_id in self.afg.topological_order()
+                ]
+                if procs:
+                    yield AllOf(procs)
+        finally:
+            for controller in self.runtime.app_controllers.values():
+                controller.release(self.afg.name)
         finished_at = self.sim.now
 
         # Phase 6: post-execution task-performance refinement.
@@ -239,9 +278,6 @@ class ExecutionCoordinator:
                     expected_s=record.predicted_time,
                     measured_s=record.measured_time,
                 )
-
-        for controller in self.runtime.app_controllers.values():
-            controller.release(self.afg.name)
 
         return ApplicationResult(
             application=self.afg.name,
@@ -257,45 +293,146 @@ class ExecutionCoordinator:
         )
 
     def _distribute_allocation(self):
-        """Phase 1: local SM -> remote SMs -> Group Managers -> Controllers."""
-        signals = []
-        for site_name in self.table.sites_used():
-            manager = self.runtime.site_managers[site_name]
-            if site_name != self.submit_site:
-                # one WAN message carrying the table portion
-                self.stats.allocation_messages += 1
-                latency = self.runtime.topology.network.wan_link(
-                    self.submit_site, site_name
-                ).spec.latency_s
-                yield Timeout(latency)
-            signals.append(manager.distribute_allocation(self.table, self.afg))
-        if signals:
-            yield AllOf(signals)
+        """Phase 1: local SM -> remote SMs -> Group Managers -> Controllers.
+
+        Remote portions ride the retrying control plane.  A site that
+        never acknowledges (down link, partition, repeated loss) is
+        declared unreachable and its tasks are moved to reachable sites,
+        whose portions are (re)delivered in the next round — so the
+        application starts on whatever part of the federation can
+        actually be talked to, or fails with a typed error.
+        """
+        local_server = self.runtime.topology.site(self.submit_site).server_host.name
+        pending = sorted({a.site for a in self.assignment.values()})
+        for _round in range(len(self.runtime.site_managers) + 1):
+            snapshot = self._live_table()
+            local_signal = None
+            procs = []
+            for site_name in pending:
+                if site_name == self.submit_site:
+                    local_signal = self.runtime.site_managers[
+                        site_name
+                    ].distribute_allocation(snapshot, self.afg)
+                else:
+                    procs.append(
+                        self.sim.process(
+                            self._deliver_allocation(site_name, local_server, snapshot),
+                            name=f"alloc:{self.afg.name}:{site_name}",
+                        )
+                    )
+            if local_signal is not None:
+                yield local_signal
+            failed = []
+            if procs:
+                results = yield AllOf(procs)
+                failed = sorted(site for site, ok in results if not ok)
+            if not failed:
+                return
+            self._unreachable_sites.update(failed)
+            pending = self._reassign_off_sites(failed)
+        raise ExecutionError(
+            f"allocation distribution for {self.afg.name!r} could not settle "
+            f"(unreachable sites: {sorted(self._unreachable_sites)})"
+        )
+
+    def _live_table(self) -> AllocationTable:
+        """The current assignment as a distributable table snapshot."""
+        snapshot = AllocationTable(self.afg.name, scheduler=self.table.scheduler)
+        for assignment in self.assignment.values():
+            snapshot.assign(assignment)
+        return snapshot
+
+    def _deliver_allocation(self, site_name: str, local_server: str, snapshot):
+        """Send one remote site its table portion; value ``(site, ok)``."""
+        manager = self.runtime.site_managers[site_name]
+        remote_server = self.runtime.topology.site(site_name).server_host.name
+        n_tasks = max(1, len(snapshot.tasks_on_site(site_name)))
+
+        def on_send(attempt: int) -> None:
+            # one WAN message carrying the table portion, per attempt
+            self.stats.allocation_messages += 1
+
+        def handle():
+            def wait():
+                value = yield manager.distribute_allocation(snapshot, self.afg)
+                return value
+
+            return wait()
+
+        try:
+            yield from self.control.request(
+                local_server, remote_server, handle,
+                payload_mb=_ALLOC_BYTES_PER_TASK_MB * n_tasks,
+                reply_mb=_ALLOC_ACK_BYTES_MB,
+                label=f"alloc:{self.afg.name}:{site_name}",
+                policy=self.rpc_policy, on_send=on_send,
+            )
+        except RpcTimeout:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.SITE_UNREACHABLE, source=f"app:{self.afg.name}",
+                    remote=site_name, phase="allocation",
+                )
+            return (site_name, False)
+        return (site_name, True)
+
+    def _reassign_off_sites(self, failed: List[str]) -> List[str]:
+        """Move tasks off unreachable sites; returns sites needing
+        (re)delivery of their updated portions."""
+        network = self.runtime.topology.network
+        dead_hosts: set = set()
+        for site_name in self._unreachable_sites:
+            dead_hosts.update(self.runtime.topology.site(site_name).hosts)
+        candidates = [self.submit_site] + [
+            s
+            for s in self.runtime.neighbor_order(self.submit_site)
+            if s not in self._unreachable_sites
+            and network.reachable(self.submit_site, s)
+        ]
+        moved: set = set()
+        for task_id in sorted(
+            t for t, a in self.assignment.items() if a.site in failed
+        ):
+            reason = f"site {self.assignment[task_id].site!r} unreachable"
+            excluded = self._excluded_hosts.setdefault(task_id, set())
+            excluded.update(dead_hosts)
+            excluded.update(self.assignment[task_id].hosts)
+            replacement = None
+            for site_name in candidates:
+                bid = self.runtime.site_managers[site_name].reselect_host(
+                    self.afg, task_id, frozenset(excluded), self.runtime.model
+                )
+                if bid is not None:
+                    replacement = bid
+                    break
+            if replacement is None:
+                raise ExecutionError(
+                    f"no reachable site can run task {task_id!r} ({reason})"
+                )
+            self._reschedules += 1
+            self.stats.reschedule_requests += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.RESCHEDULE, source=f"app:{self.afg.name}",
+                    task=task_id, reason=reason,
+                    from_site=self.assignment[task_id].site,
+                    from_hosts=self.assignment[task_id].hosts,
+                )
+            self._pre_execution_moves.setdefault(task_id, []).append(reason)
+            self.assignment[task_id] = TaskAssignment(
+                task_id=task_id,
+                site=replacement.site,
+                hosts=replacement.hosts,
+                predicted_time=replacement.predicted_time,
+            )
+            moved.add(replacement.site)
+        return sorted(moved)
 
     def _setup_channels(self):
         """Phase 2: one point-to-point channel per edge, setup + ack."""
-        network = self.runtime.topology.network
 
         def setup(edge: Edge):
-            src_host = self.assignment[edge.src].primary_host
-            dst_host = self.assignment[edge.dst].primary_host
-            link = network.link_between(src_host, dst_host)
-            latency = link.spec.latency_s if link is not None else 0.0
-            self.stats.channel_setups += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.CHANNEL_SETUP, source=f"app:{self.afg.name}",
-                    edge=[edge.src, edge.dst], src_host=src_host,
-                    dst_host=dst_host,
-                )
-            yield Timeout(latency)  # communication proxy sets up the socket
-            self.stats.channel_acks += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.CHANNEL_ACK, source=f"app:{self.afg.name}",
-                    edge=[edge.src, edge.dst],
-                )
-            yield Timeout(latency)  # acknowledgment back to the controller
+            yield from self._establish_channel(edge)
             self._edge_ready[_edge_key(edge)] = self.sim.signal(
                 f"edge:{edge.src}->{edge.dst}"
             )
@@ -306,6 +443,113 @@ class ExecutionCoordinator:
         ]
         if procs:
             yield AllOf(procs)
+
+    def _establish_channel(self, edge: Edge):
+        """Channel setup + ack for one edge, with control-plane retries.
+
+        The communication proxy's setup message and the acknowledgement
+        each ride one link latency (the ``latency`` transport); under
+        loss or a down link the exchange retries with backoff, and an
+        exhausted policy is a typed execution failure.
+        """
+        src_host = self.assignment[edge.src].primary_host
+        dst_host = self.assignment[edge.dst].primary_host
+
+        def on_send(attempt: int) -> None:
+            self.stats.channel_setups += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.CHANNEL_SETUP, source=f"app:{self.afg.name}",
+                    edge=[edge.src, edge.dst], src_host=src_host,
+                    dst_host=dst_host,
+                )
+
+        def on_reply(attempt: int) -> None:
+            self.stats.channel_acks += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.CHANNEL_ACK, source=f"app:{self.afg.name}",
+                    edge=[edge.src, edge.dst],
+                )
+
+        try:
+            yield from self.control.request(
+                src_host, dst_host, lambda: None, transport="latency",
+                label=f"chan:{self.afg.name}:{edge.src}->{edge.dst}",
+                policy=self.rpc_policy, on_send=on_send, on_reply=on_reply,
+            )
+        except RpcTimeout as exc:
+            raise ExecutionError(
+                f"channel setup {edge.src}->{edge.dst} failed: {exc}"
+            ) from exc
+
+    def _reestablish_channel(self, edge: Edge, record: TaskRecord):
+        """Re-run channel setup after a mid-flight link failure."""
+        record.channel_reestablishes += 1
+        self.stats.channel_reestablishes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.CHANNEL_REESTABLISH, source=f"app:{self.afg.name}",
+                edge=[edge.src, edge.dst],
+            )
+        yield from self._establish_channel(edge)
+
+    def _transfer_with_retry(self, src_host: str, dst_host: str, size_mb: float,
+                             label: str, record: TaskRecord, reason: str,
+                             edge: Optional[Edge] = None):
+        """A payload transfer that survives link outages.
+
+        Each attempt is a real contention-aware transfer; one killed by
+        :class:`LinkDownError` is retried after an exponential backoff,
+        re-establishing the edge's channel first when one exists.  An
+        exhausted data policy raises a typed :class:`ExecutionError`.
+        """
+        network = self.runtime.topology.network
+        metrics = self.sim.metrics
+        policy = self.data_policy
+        rng = self.sim.rng(f"retry:{self.afg.name}:{label}")
+        for attempt in range(1, policy.max_attempts + 1):
+            transfer = network.transfer(src_host, dst_host, size_mb, label=label)
+            self._transfers += 1
+            self._transferred_mb += size_mb
+            self.stats.data_transfers += 1
+            self.stats.data_transferred_mb += size_mb
+            if metrics.enabled:
+                metrics.histogram(
+                    "vdce_transfer_mb",
+                    "inter-task payload size per dataflow transfer",
+                    buckets=(0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0),
+                ).observe(size_mb)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
+                    src=src_host, dst=dst_host, size_mb=size_mb,
+                    edge=[edge.src, edge.dst] if edge is not None else None,
+                    reason=reason, attempt=attempt,
+                )
+            try:
+                yield transfer.done
+                return
+            except LinkDownError as exc:
+                if attempt >= policy.max_attempts:
+                    raise ExecutionError(
+                        f"transfer {label!r} failed after {attempt} attempts: {exc}"
+                    ) from exc
+                record.transfer_retries += 1
+                self.stats.transfer_retries += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.TRANSFER_RETRY, source=f"app:{self.afg.name}",
+                        label=label, attempt=attempt, reason=str(exc),
+                    )
+                yield Timeout(policy.backoff(attempt, float(rng.uniform())))
+                if edge is not None:
+                    try:
+                        yield from self._reestablish_channel(edge, record)
+                    except ExecutionError:
+                        # link still down: keep backing off; only the
+                        # transfer attempts themselves are the budget
+                        pass
 
     # -- per-task execution -----------------------------------------------------
 
@@ -318,6 +562,7 @@ class ExecutionCoordinator:
             site=assignment.site,
             hosts=assignment.hosts,
             predicted_time=assignment.predicted_time,
+            reschedule_reasons=list(self._pre_execution_moves.get(task_id, [])),
         )
         self.records[task_id] = record
 
@@ -332,8 +577,8 @@ class ExecutionCoordinator:
         src_server = self.runtime.topology.site(self.submit_site).server_host.name
         for binding in node.properties.file_inputs():
             dst = self.assignment[task_id].primary_host
-            value = yield from self.runtime.io_service.stage(
-                binding.file, src_server, dst
+            value = yield from self._stage_with_retry(
+                binding.file, src_server, dst, record
             )
             port_values[binding.port] = value
 
@@ -368,47 +613,68 @@ class ExecutionCoordinator:
         if not self.afg.out_edges(task_id):
             self.outputs[task_id] = outputs
 
-        # Push outputs down the channels as real transfers.
-        network = self.runtime.topology.network
-        metrics = self.sim.metrics
+        # Push outputs down the channels as real (retrying) transfers.
         for edge in self.afg.out_edges(task_id):
             value = outputs[edge.src_port] if outputs else None
-            src_host = self.assignment[task_id].primary_host
-            dst_host = self.assignment[edge.dst].primary_host
-            transfer = network.transfer(
-                src_host, dst_host, edge.size_mb,
-                label=f"{edge.src}->{edge.dst}",
+            self.sim.process(
+                self._deliver_output(edge, value, record),
+                name=f"xfer:{edge.src}->{edge.dst}",
             )
-            self._transfers += 1
-            self._transferred_mb += edge.size_mb
-            self.stats.data_transfers += 1
-            self.stats.data_transferred_mb += edge.size_mb
-            if metrics.enabled:
-                metrics.histogram(
-                    "vdce_transfer_mb",
-                    "inter-task payload size per dataflow transfer",
-                    buckets=(0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0),
-                ).observe(edge.size_mb)
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
-                    src=src_host, dst=dst_host, size_mb=edge.size_mb,
-                    edge=[edge.src, edge.dst], reason="dataflow",
+
+    def _deliver_output(self, edge: Edge, value: Any, record: TaskRecord):
+        """Push one produced value down its channel, surviving outages.
+
+        A delivery that exhausts the data policy fails the edge signal,
+        so the consumer task (and with it the application) fails with
+        the typed error instead of hanging forever.
+        """
+        key = _edge_key(edge)
+        sent_at = self.sim.now
+        src_host = self.assignment[edge.src].primary_host
+        dst_host = self.assignment[edge.dst].primary_host
+        try:
+            yield from self._transfer_with_retry(
+                src_host, dst_host, edge.size_mb,
+                label=f"{edge.src}->{edge.dst}", record=record,
+                reason="dataflow", edge=edge,
+            )
+        except ExecutionError as exc:
+            self._edge_ready[key].fail(exc)
+            return
+        if self.sim.metrics.enabled:
+            self.sim.metrics.histogram(
+                "vdce_transfer_latency_seconds",
+                "dataflow transfer time on the contended network",
+            ).observe(self.sim.now - sent_at)
+        self._edge_value[key] = value
+        self._edge_ready[key].succeed(value)
+
+    def _stage_with_retry(self, spec, src_host: str, dst_host: str,
+                          record: TaskRecord):
+        """``io_service.stage`` hardened against link outages."""
+        policy = self.data_policy
+        rng = self.sim.rng(f"retry:{self.afg.name}:stage:{spec.path}")
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                value = yield from self.runtime.io_service.stage(
+                    spec, src_host, dst_host
                 )
-            key = _edge_key(edge)
-            sent_at = self.sim.now
-
-            def deliver(key=key, value=value, transfer=transfer, sent_at=sent_at):
-                yield transfer.done
-                if self.sim.metrics.enabled:
-                    self.sim.metrics.histogram(
-                        "vdce_transfer_latency_seconds",
-                        "dataflow transfer time on the contended network",
-                    ).observe(self.sim.now - sent_at)
-                self._edge_value[key] = value
-                self._edge_ready[key].succeed(value)
-
-            self.sim.process(deliver(), name=f"xfer:{key[0]}->{key[1]}")
+                return value
+            except LinkDownError as exc:
+                if attempt >= policy.max_attempts:
+                    raise ExecutionError(
+                        f"staging {spec.path!r} onto {dst_host} failed "
+                        f"after {attempt} attempts: {exc}"
+                    ) from exc
+                record.transfer_retries += 1
+                self.stats.transfer_retries += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.TRANSFER_RETRY, source=f"app:{self.afg.name}",
+                        label=f"stage:{spec.path}", attempt=attempt,
+                        reason=str(exc),
+                    )
+                yield Timeout(policy.backoff(attempt, float(rng.uniform())))
 
     def _execute_with_recovery(self, node: TaskNode, record: TaskRecord, inputs):
         """Run the task's slice(s); on failure/threshold, reschedule and retry."""
@@ -422,6 +688,16 @@ class ExecutionCoordinator:
             record.attempts += 1
             assignment = self.assignment[node.id]
             attempt_start = self.sim.now
+            # Never start a slice on a host the repository believes is
+            # down — the chaos invariant the paper's two-level failure
+            # detection exists to uphold.
+            believed_down = self._believed_down_hosts(assignment)
+            if believed_down:
+                yield from self._reschedule(
+                    node, record,
+                    f"hosts believed down: {', '.join(believed_down)}",
+                )
+                continue
             controllers = [
                 self.runtime.app_controllers[h] for h in assignment.hosts
             ]
@@ -459,6 +735,23 @@ class ExecutionCoordinator:
                 ).observe(record.measured_time, site=record.site)
             return
 
+    def _believed_down_hosts(self, assignment: TaskAssignment) -> List[str]:
+        """Assigned hosts the site repository currently marks down."""
+        repo = self.runtime.repositories[assignment.site]
+        return [
+            h
+            for h in assignment.hosts
+            if repo.resources.has_host(h) and not repo.resources.get(h).up
+        ]
+
+    def _site_reachable(self, site_name: str) -> bool:
+        """Can the submitting site currently talk to ``site_name``?"""
+        if site_name == self.submit_site:
+            return True
+        if site_name in self._unreachable_sites:
+            return False
+        return self.runtime.topology.network.reachable(self.submit_site, site_name)
+
     def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str):
         """Obtain a replacement placement and re-stage inputs onto it."""
         self._reschedules += 1
@@ -481,7 +774,8 @@ class ExecutionCoordinator:
         if "down" in reason.lower():
             self.stats.failure_restarts += 1
 
-        # Ask sites in locality order: current site, submit site, neighbours.
+        # Ask sites in locality order: current site, submit site, neighbours
+        # — skipping any the submitting site cannot currently reach.
         current = self.assignment[node.id].site
         order = [current, self.submit_site] + [
             s for s in self.runtime.neighbor_order(self.submit_site)
@@ -492,6 +786,8 @@ class ExecutionCoordinator:
             if site_name in seen:
                 continue
             seen.add(site_name)
+            if not self._site_reachable(site_name):
+                continue
             manager = self.runtime.site_managers[site_name]
             bid = manager.reselect_host(
                 self.afg, node.id, frozenset(excluded), self.runtime.model
@@ -515,28 +811,17 @@ class ExecutionCoordinator:
         record.site = new_assignment.site
         record.hosts = new_assignment.hosts
 
-        # Re-stage inputs onto the new primary host.
-        network = self.runtime.topology.network
+        # Re-stage inputs onto the new primary host (link-outage safe).
         new_primary = new_assignment.primary_host
         for edge in self.afg.in_edges(node.id):
             src_host = self.assignment[edge.src].primary_host
-            transfer = network.transfer(
+            yield from self._transfer_with_retry(
                 src_host, new_primary, edge.size_mb,
-                label=f"restage:{edge.src}->{edge.dst}",
+                label=f"restage:{edge.src}->{edge.dst}", record=record,
+                reason="restage",
             )
-            self._transfers += 1
-            self._transferred_mb += edge.size_mb
-            self.stats.data_transfers += 1
-            self.stats.data_transferred_mb += edge.size_mb
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.DATA_TRANSFER, source=f"app:{self.afg.name}",
-                    src=src_host, dst=new_primary, size_mb=edge.size_mb,
-                    edge=[edge.src, edge.dst], reason="restage",
-                )
-            yield transfer.done
         src_server = self.runtime.topology.site(self.submit_site).server_host.name
         for binding in node.properties.file_inputs():
-            yield from self.runtime.io_service.stage(
-                binding.file, src_server, new_primary
+            yield from self._stage_with_retry(
+                binding.file, src_server, new_primary, record
             )

@@ -47,12 +47,19 @@ class GroupManager:
         echo_loss_prob: float = 0.0,
         suspicion_threshold: int = 1,
         tracer: Tracer = NULL_TRACER,
+        control=None,
+        lan_link=None,
     ):
         """``echo_loss_prob`` models a lossy campus LAN: each echo round
         trip independently fails with this probability.  A host is only
         declared down after ``suspicion_threshold`` *consecutive* missed
         echoes — the standard guard against false positives (with the
-        default of 1, behaviour is the paper's immediate declaration)."""
+        default of 1, behaviour is the paper's immediate declaration).
+
+        ``control`` (a :class:`~repro.net.rpc.ControlPlane`) and
+        ``lan_link`` route failure/recovery reports through the retrying
+        notification path, so a lossy or down LAN delays rather than
+        drops them; without them, reports are plain delayed calls."""
         if change_threshold < 0:
             raise ValueError("change_threshold must be non-negative")
         if echo_period_s <= 0:
@@ -71,6 +78,8 @@ class GroupManager:
         self.echo_loss_prob = float(echo_loss_prob)
         self.suspicion_threshold = int(suspicion_threshold)
         self.tracer = tracer
+        self._control = control
+        self._lan_link = lan_link
         #: last workload value forwarded upward, per host
         self._last_forwarded: Dict[str, float] = {}
         #: what this Group Manager believes about host liveness
@@ -174,9 +183,8 @@ class GroupManager:
                             source=f"gm:{self.name}", host=host.name,
                             false_positive=host.is_up(),
                         )
-                    self.sim.call_after(
-                        self.lan_latency_s,
-                        lambda h=host.name: self.site_manager.receive_failure(h),
+                    self._send_report(
+                        lambda h=host.name: self.site_manager.receive_failure(h)
                     )
                 elif not believed and responded:
                     self._believed_up[host.name] = True
@@ -187,10 +195,24 @@ class GroupManager:
                             EventKind.RECOVERY_NOTIFICATION,
                             source=f"gm:{self.name}", host=host.name,
                         )
-                    self.sim.call_after(
-                        self.lan_latency_s,
-                        lambda h=host.name: self.site_manager.receive_recovery(h),
+                    self._send_report(
+                        lambda h=host.name: self.site_manager.receive_recovery(h)
                     )
+
+    def _send_report(self, deliver) -> None:
+        """Failure/recovery report to the Site Manager over the LAN.
+
+        Retrying (and so loss-tolerant) when a control plane is wired
+        in; otherwise the original single delayed delivery.  Either way
+        a lossless, healthy LAN delivers after exactly one latency.
+        """
+        if self._control is not None:
+            self._control.notify_lan(
+                self._lan_link, deliver, self.lan_latency_s,
+                label=f"report:{self.name}",
+            )
+        else:
+            self.sim.call_after(self.lan_latency_s, deliver)
 
     def believes_up(self, host_name: str) -> bool:
         return self._believed_up[host_name]

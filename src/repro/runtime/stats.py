@@ -49,6 +49,14 @@ class RuntimeStats:
     failure_restarts: int = 0
     #: inter-site scheduler messages (AFG multicast + bid replies)
     scheduler_messages: int = 0
+    #: control-plane RPC attempts that failed and were retried
+    rpc_retries: int = 0
+    #: control-plane RPCs abandoned after exhausting every attempt
+    rpc_timeouts: int = 0
+    #: payload transfers retried after a link outage killed them
+    transfer_retries: int = 0
+    #: inter-task channels re-established after a mid-flight failure
+    channel_reestablishes: int = 0
     #: task-performance DB refinements recorded after completion
     taskperf_updates: int = 0
     #: (virtual time, host, event) failure-detection log for E6
@@ -110,6 +118,10 @@ class RuntimeStats:
             "reschedule_requests": self.reschedule_requests,
             "failure_restarts": self.failure_restarts,
             "scheduler_messages": self.scheduler_messages,
+            "rpc_retries": self.rpc_retries,
+            "rpc_timeouts": self.rpc_timeouts,
+            "transfer_retries": self.transfer_retries,
+            "channel_reestablishes": self.channel_reestablishes,
             "taskperf_updates": self.taskperf_updates,
             "total_control_messages": self.total_control_messages(),
         }

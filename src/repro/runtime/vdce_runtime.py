@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.serialize import afg_to_json
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
+from repro.net.rpc import ControlPlane, RetryPolicy, RpcTimeout
 from repro.repository.store import SiteRepository
 from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
@@ -38,7 +39,7 @@ from repro.scheduler.allocation import AllocationTable
 from repro.scheduler.federation import FederationView
 from repro.scheduler.prediction import PredictionModel
 from repro.scheduler.site_scheduler import SiteScheduler
-from repro.sim.kernel import AllOf, Simulator, Timeout
+from repro.sim.kernel import AllOf, AnyOf, Simulator, Timeout
 from repro.sim.topology import Topology
 from repro.tasklib.registry import TaskRegistry, default_registry
 from repro.trace.events import EventKind
@@ -72,6 +73,16 @@ class RuntimeConfig:
     check_period_s: float = 2.0
     #: run task implementations for real (False = shape-only execution)
     execute_payloads: bool = True
+    #: timeout/retry/backoff for control-plane RPCs (scheduling, allocation,
+    #: channel signalling, failure reports)
+    rpc_policy: RetryPolicy = RetryPolicy()
+    #: more patient policy for payload transfers killed by link outages
+    data_policy: RetryPolicy = RetryPolicy(
+        timeout_s=5.0, max_attempts=7, backoff_base_s=0.25
+    )
+    #: how long the site scheduler waits for remote bids before
+    #: proceeding with whichever of the k sites answered (Fig. 2 step 5)
+    bid_deadline_s: float = 6.0
 
     def __post_init__(self) -> None:
         if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
@@ -84,6 +95,8 @@ class RuntimeConfig:
             raise ValueError("suspicion_threshold must be >= 1")
         if self.load_threshold <= 0 or self.check_period_s <= 0:
             raise ValueError("load_threshold/check_period_s must be positive")
+        if self.bid_deadline_s <= 0:
+            raise ValueError("bid_deadline_s must be positive")
 
 
 class VDCERuntime:
@@ -113,6 +126,11 @@ class VDCERuntime:
         #: it through ``self.sim.metrics``
         self.metrics = self.sim.attach_metrics(metrics)
         self.default_site = default_site or topology.site_names[0]
+        #: retrying control-plane messaging shared by every component
+        self.control = ControlPlane(
+            self.sim, topology.network, stats=self.stats,
+            policy=config.rpc_policy, tracer=self.tracer,
+        )
 
         if repositories is None:
             repositories = {
@@ -143,6 +161,8 @@ class VDCERuntime:
                     echo_loss_prob=config.echo_loss_prob,
                     suspicion_threshold=config.suspicion_threshold,
                     tracer=self.tracer,
+                    control=self.control,
+                    lan_link=topology.network.lan_link(site_name),
                 )
                 manager.attach_group_manager(gm)
                 self.group_managers[gm.name] = gm
@@ -227,8 +247,12 @@ class VDCERuntime:
 
         Returns ``(table, scheduling_time_s)``.  Reproduces Fig. 2
         steps 2-5 as traffic: the AFG multicast to the k nearest
-        neighbour sites rides the WAN (size proportional to the graph),
-        and each site's bids ride back.
+        neighbour sites rides the WAN (size proportional to the graph)
+        through the retrying control plane, and each site's bids ride
+        back.  Sites that do not answer within ``bid_deadline_s`` — the
+        link is down, or every retry was lost — are simply left out:
+        placement proceeds with the subset that answered, degrading to
+        local-only scheduling under a full partition.
         """
         scheduler = scheduler or SiteScheduler(k=2, model=self.model)
         local_site = local_site or self.default_site
@@ -245,45 +269,65 @@ class VDCERuntime:
         def exchange(remote: str):
             remote_server = self.topology.site(remote).server_host.name
             exchange_started = self.sim.now
-            # step 3: multicast the AFG
-            self.stats.scheduler_messages += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.AFG_MULTICAST, source=f"sm:{local_site}",
-                    application=afg.name, remote=remote, size_mb=afg_mb,
+
+            def on_send(attempt: int) -> None:
+                # step 3: multicast the AFG (once per attempt on the wire)
+                self.stats.scheduler_messages += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.AFG_MULTICAST, source=f"sm:{local_site}",
+                        application=afg.name, remote=remote, size_mb=afg_mb,
+                        attempt=attempt,
+                    )
+
+            def on_reply(attempt: int) -> None:
+                self.stats.scheduler_messages += 1
+
+            def handle():
+                # step 4 at the remote site: host selection over its repository
+                bids = self.site_managers[remote].handle_scheduling_request(
+                    afg, scheduler.model
                 )
-            t1 = self.topology.network.transfer(
-                local_server, remote_server, afg_mb, label=f"afg->{remote}"
-            )
-            yield t1.done
-            # step 4 at the remote site: host selection over its repository
-            bids = self.site_managers[remote].handle_scheduling_request(
-                afg, scheduler.model
-            )
-            # step 5: bids ride back
-            self.stats.scheduler_messages += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    EventKind.BID_REPLY, source=f"sm:{remote}",
-                    application=afg.name, bids=len(bids),
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.BID_REPLY, source=f"sm:{remote}",
+                        application=afg.name, bids=len(bids),
+                    )
+                return bids
+
+            try:
+                bids = yield from self.control.request(
+                    local_server, remote_server, handle,
+                    payload_mb=afg_mb,
+                    reply_mb=lambda b: _BID_BYTES_MB * max(1, len(b)),
+                    label=f"sched:{afg.name}:{remote}",
+                    on_send=on_send, on_reply=on_reply,
                 )
-            t2 = self.topology.network.transfer(
-                remote_server, local_server, _BID_BYTES_MB * max(1, len(bids)),
-                label=f"bids<-{remote}",
-            )
-            yield t2.done
+            except RpcTimeout:
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.SITE_UNREACHABLE, source=f"sm:{local_site}",
+                        application=afg.name, remote=remote, phase="scheduling",
+                    )
+                return None
             if self.metrics.enabled:
                 self.metrics.histogram(
                     "vdce_bid_latency_seconds",
                     "AFG multicast -> bid reply round trip per remote site",
                     buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
                 ).observe(self.sim.now - exchange_started, site=remote)
+            return remote
 
         procs = [
             self.sim.process(exchange(r), name=f"sched-xchg:{r}") for r in remotes
         ]
         if procs:
-            yield AllOf(procs)
+            # step 5 with a deadline: wait for every exchange, but never
+            # longer than bid_deadline_s — late answers are dropped.
+            yield AnyOf([AllOf(procs), Timeout(self.config.bid_deadline_s)])
+        answered = {p.value for p in procs if p.triggered and p.value is not None}
+        if len(answered) < len(remotes):
+            view = view.restricted(answered)
 
         # placement itself (pure); its wall cost is negligible vs messages
         table = scheduler.schedule(

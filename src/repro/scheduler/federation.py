@@ -79,6 +79,21 @@ class FederationView:
         except KeyError:
             raise KeyError(f"no repository for site {site!r}") from None
 
+    def restricted(self, responsive: "set[str] | frozenset[str]") -> "FederationView":
+        """A copy whose neighbours are limited to ``responsive`` sites.
+
+        The runtime uses this when some of the k nearest sites fail to
+        answer the AFG multicast within the bid deadline: scheduling
+        proceeds over whoever answered (the local site always
+        participates), degrading to local-only under a full partition.
+        """
+        return FederationView(
+            local_site=self.local_site,
+            repositories=self.repositories,
+            neighbor_order=[s for s in self.neighbor_order if s in responsive],
+            site_transfer_time=self.site_transfer_time,
+        )
+
     def remote_sites(self, k: Optional[int] = None) -> List[str]:
         """The k nearest remote sites (Fig. 2 step 2); all if k is None."""
         if k is None:

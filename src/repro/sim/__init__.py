@@ -25,7 +25,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.host import Host, HostSpec, HostState, TaskExecution
 from repro.sim.site import Group, Site, SiteSpec
-from repro.sim.network import Link, LinkSpec, Network, TransferModel
+from repro.sim.network import Link, LinkDownError, LinkSpec, Network, TransferModel
 from repro.sim.topology import Topology, TopologyBuilder, star_topology, two_site_topology
 from repro.sim.workload import (
     ConstantLoad,
@@ -37,10 +37,13 @@ from repro.sim.workload import (
     TraceLoad,
 )
 from repro.sim.failures import FailureInjector, FailureEvent
+from repro.sim.chaos import ChaosConfig, ChaosReport, run_campaign, smoke_config
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ChaosConfig",
+    "ChaosReport",
     "ConstantLoad",
     "DiurnalLoad",
     "FailureEvent",
@@ -51,6 +54,7 @@ __all__ = [
     "HostState",
     "Interrupt",
     "Link",
+    "LinkDownError",
     "LinkSpec",
     "LoadGenerator",
     "Network",
@@ -69,6 +73,8 @@ __all__ = [
     "TopologyBuilder",
     "TraceLoad",
     "TransferModel",
+    "run_campaign",
+    "smoke_config",
     "star_topology",
     "two_site_topology",
 ]

@@ -1,0 +1,422 @@
+"""Chaos campaigns: randomized fault injection with checked invariants.
+
+A campaign stands up a full VDCE deployment, starts the monitoring
+control plane, arms scripted and stochastic fault injectors (host
+crashes, WAN link outages, a mid-campaign partition, optionally a
+whole-site outage, control-message loss), submits a stream of
+applications, and then audits the run against four invariants:
+
+I1 — *typed completion*: every application either completes or fails
+     with a typed error (:class:`~repro.runtime.execution.ExecutionError`,
+     :class:`~repro.scheduler.site_scheduler.SchedulingError`,
+     :class:`~repro.net.rpc.RpcTimeout`,
+     :class:`~repro.sim.host.HostDownError`).  Untyped exceptions and
+     applications that never settle are violations.
+I2 — *no believed-down placement*: no successful task attempt starts on
+     a host while the failure detector believes that host is down.
+I3 — *determinism*: a campaign is a pure function of its config — the
+     same seed yields byte-identical trace and metrics hashes (checked
+     by running the campaign twice; see ``repro chaos``).
+I4 — *reconciliation*: the injection log (ground truth) and the
+     detection log (what the Group Managers reported) agree — every
+     false positive is accounted for, and every sufficiently long real
+     outage is detected within the echo-protocol's detection window.
+
+Everything is deterministic: victims are drawn from the named stream
+``chaos:plan``, fault processes from their per-target streams, and the
+report's :meth:`~ChaosReport.campaign_hash` is a content hash of the
+whole outcome — the regression oracle the CLI and CI lean on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.failures import FailureInjector
+from repro.sim.host import HostDownError
+from repro.sim.kernel import Timeout
+
+__all__ = ["ChaosConfig", "ChaosReport", "run_campaign", "smoke_config"]
+
+#: worst-case lag between a Group Manager detection and the repository
+#: update it triggers (one lossless LAN notify), plus scheduling slack
+_REPORT_DELIVERY_SLACK_S = 0.5
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything a campaign depends on — hash this, and you hash the run."""
+
+    seed: int = 0
+    n_sites: int = 3
+    hosts_per_site: int = 4
+    n_apps: int = 4
+    #: nominal campaign length; apps may run past it, faults keep going
+    duration_s: float = 300.0
+    first_submit_s: float = 5.0
+    app_spacing_s: float = 45.0
+    k: int = 2
+    # stochastic host faults
+    n_flaky_hosts: int = 2
+    host_mtbf_s: float = 120.0
+    host_mttr_s: float = 30.0
+    # stochastic WAN link faults
+    n_flaky_links: int = 1
+    link_mtbf_s: float = 150.0
+    link_mttr_s: float = 20.0
+    # scripted WAN partition (first site vs the rest); None disables
+    partition_at_s: Optional[float] = 60.0
+    partition_duration_s: float = 40.0
+    # scripted whole-site outage (last site); None disables
+    site_outage_at_s: Optional[float] = None
+    site_outage_duration_s: float = 30.0
+    # control-message quality (WAN message loss; echo loss is LAN-side)
+    message_loss_prob: float = 0.05
+    echo_loss_prob: float = 0.05
+    suspicion_threshold: int = 2
+    echo_period_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1 or self.hosts_per_site < 1:
+            raise ValueError("need at least one site with one host")
+        if self.n_apps < 1:
+            raise ValueError("n_apps must be >= 1")
+        if self.duration_s <= 0 or self.app_spacing_s < 0:
+            raise ValueError("duration_s must be positive, spacing non-negative")
+        if self.n_flaky_hosts < 0 or self.n_flaky_links < 0:
+            raise ValueError("victim counts must be non-negative")
+        if not (0.0 <= self.message_loss_prob < 1.0):
+            raise ValueError("message_loss_prob must be in [0, 1)")
+        if not (0.0 <= self.echo_loss_prob < 1.0):
+            raise ValueError("echo_loss_prob must be in [0, 1)")
+
+
+def smoke_config(seed: int = 0) -> ChaosConfig:
+    """The small, fast campaign CI runs on every push."""
+    return ChaosConfig(
+        seed=seed,
+        n_sites=3,
+        hosts_per_site=3,
+        n_apps=3,
+        duration_s=240.0,
+        app_spacing_s=35.0,
+        n_flaky_hosts=2,
+        host_mtbf_s=90.0,
+        host_mttr_s=25.0,
+        n_flaky_links=1,
+        link_mtbf_s=120.0,
+        link_mttr_s=15.0,
+        partition_at_s=40.0,
+        partition_duration_s=30.0,
+        message_loss_prob=0.05,
+        echo_loss_prob=0.05,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """What one campaign did, found, and hashed to."""
+
+    config: ChaosConfig
+    outcomes: Dict[str, Dict[str, Any]]
+    violations: List[str]
+    injection_events: int
+    detections: int
+    false_positives: int
+    final_time: float
+    trace_hash: str
+    metrics_hash: str
+    #: ground-truth injection log, serialised for artifacts/reconciliation
+    injection_log: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "config": asdict(self.config),
+            "outcomes": {k: self.outcomes[k] for k in sorted(self.outcomes)},
+            "violations": list(self.violations),
+            "injection_events": self.injection_events,
+            "detections": self.detections,
+            "false_positives": self.false_positives,
+            "final_time": round(self.final_time, 9),
+            "trace_hash": self.trace_hash,
+            "metrics_hash": self.metrics_hash,
+            "injection_log": list(self.injection_log),
+            "ok": self.ok,
+        }
+
+    def campaign_hash(self) -> str:
+        """Content hash of the whole campaign outcome (I3's oracle)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _build_apps(config: ChaosConfig):
+    """The deterministic application stream: shapes cycle, names unique."""
+    from repro.workloads.pipelines import fork_join, linear_pipeline, reduction_tree
+
+    apps = []
+    for i in range(config.n_apps):
+        shape = i % 3
+        if shape == 0:
+            afg = linear_pipeline(n_stages=5, cost=6.0, edge_mb=4.0)
+        elif shape == 1:
+            afg = fork_join(width=3, branch_cost=8.0, edge_mb=2.0)
+        else:
+            afg = reduction_tree(leaves=4, leaf_cost=7.0, edge_mb=2.0)
+        afg.name = f"chaos{i:02d}-{afg.name}"
+        apps.append(afg)
+    return apps
+
+
+def run_campaign(config: ChaosConfig) -> ChaosReport:
+    """Run one chaos campaign and audit it; never raises on faults —
+    fault-tolerance failures surface as :attr:`ChaosReport.violations`."""
+    # imported here: repro.sim must not depend on the upper layers at
+    # import time (the facade imports back down into repro.sim)
+    from repro.core.vdce import VDCE
+    from repro.metrics.registry import MetricsRegistry
+    from repro.runtime.execution import ExecutionCoordinator, ExecutionError
+    from repro.runtime.vdce_runtime import RuntimeConfig
+    from repro.net.rpc import RpcTimeout
+    from repro.scheduler.site_scheduler import SchedulingError, SiteScheduler
+    from repro.trace.tracer import Tracer
+
+    typed_errors = (ExecutionError, SchedulingError, RpcTimeout, HostDownError)
+
+    vdce = VDCE.standard(
+        n_sites=config.n_sites,
+        hosts_per_site=config.hosts_per_site,
+        seed=config.seed,
+        runtime_config=RuntimeConfig(
+            echo_loss_prob=config.echo_loss_prob,
+            suspicion_threshold=config.suspicion_threshold,
+            echo_period_s=config.echo_period_s,
+        ),
+        tracer=Tracer(),
+        metrics=MetricsRegistry(),
+    )
+    sim = vdce.sim
+    runtime = vdce.runtime
+    network = vdce.topology.network
+    sites = vdce.sites
+    vdce.start_monitoring()
+    if config.message_loss_prob > 0 and config.n_sites > 1:
+        network.set_message_loss(config.message_loss_prob)
+
+    # -- arm the injectors -------------------------------------------------
+    injector = FailureInjector(sim)
+    plan_rng = sim.rng("chaos:plan")
+    all_hosts = sorted(vdce.topology.all_hosts, key=lambda h: h.name)
+    n_hosts = min(config.n_flaky_hosts, len(all_hosts))
+    if n_hosts:
+        picks = sorted(plan_rng.choice(len(all_hosts), size=n_hosts, replace=False))
+        for i in picks:
+            injector.start_random(
+                all_hosts[int(i)], config.host_mtbf_s, config.host_mttr_s
+            )
+    site_pairs = [
+        (a, b) for i, a in enumerate(sites) for b in sites[i + 1:]
+    ]
+    n_links = min(config.n_flaky_links, len(site_pairs))
+    if n_links:
+        picks = sorted(plan_rng.choice(len(site_pairs), size=n_links, replace=False))
+        for i in picks:
+            a, b = site_pairs[int(i)]
+            injector.start_random_link(
+                network.wan_link(a, b), config.link_mtbf_s, config.link_mttr_s
+            )
+    if config.partition_at_s is not None and config.n_sites > 1:
+        injector.schedule_partition(
+            network, [[sites[0]], sites[1:]],
+            start=config.partition_at_s, duration=config.partition_duration_s,
+        )
+    if config.site_outage_at_s is not None and config.n_sites > 1:
+        injector.schedule_site_outage(
+            vdce.topology.site(sites[-1]), network,
+            start=config.site_outage_at_s,
+            duration=config.site_outage_duration_s,
+        )
+
+    # -- submit the application stream -------------------------------------
+    outcomes: Dict[str, Dict[str, Any]] = {}
+    coordinators: List[ExecutionCoordinator] = []
+
+    def run_app(afg, submit_site: str, delay: float):
+        yield Timeout(delay)
+        submitted = sim.now
+        try:
+            table, _sched = yield from runtime.schedule_process(
+                afg, SiteScheduler(k=config.k, model=runtime.model),
+                local_site=submit_site,
+            )
+            coordinator = ExecutionCoordinator(
+                runtime, afg, table, submit_site=submit_site
+            )
+            coordinators.append(coordinator)
+            result = yield coordinator.start()
+            outcomes[afg.name] = {
+                "status": "completed",
+                "site": submit_site,
+                "submitted_at": round(submitted, 9),
+                "makespan_s": round(result.makespan, 9),
+                "reschedules": result.reschedules,
+                "transfer_retries": result.transfer_retries,
+                "channel_reestablishes": result.channel_reestablishes,
+                "sites_used": sorted({r.site for r in result.records.values()}),
+            }
+        except typed_errors as exc:
+            outcomes[afg.name] = {
+                "status": "failed",
+                "site": submit_site,
+                "submitted_at": round(submitted, 9),
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+        except Exception as exc:  # noqa: BLE001 — untyped = I1 violation
+            outcomes[afg.name] = {
+                "status": "crashed",
+                "site": submit_site,
+                "submitted_at": round(submitted, 9),
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+
+    procs = []
+    for i, afg in enumerate(_build_apps(config)):
+        submit_site = sites[i % len(sites)]
+        delay = config.first_submit_s + i * config.app_spacing_s
+        procs.append(sim.process(run_app(afg, submit_site, delay), name=f"chaos:{afg.name}"))
+
+    # -- run ----------------------------------------------------------------
+    sim.run(until=config.duration_s)
+    grace_rounds = 0
+    while any(not p.triggered for p in procs) and grace_rounds < 8:
+        sim.run(until=sim.now + config.duration_s / 2)
+        grace_rounds += 1
+
+    # -- audit ---------------------------------------------------------------
+    violations: List[str] = []
+
+    # I1: typed completion
+    for proc in procs:
+        if not proc.triggered:
+            violations.append(f"I1: application {proc.name!r} never settled")
+    for name in sorted(outcomes):
+        if outcomes[name]["status"] == "crashed":
+            violations.append(
+                f"I1: application {name!r} died with untyped "
+                f"{outcomes[name]['error']}: {outcomes[name]['detail']}"
+            )
+
+    # I2: no successful attempt starts on a believed-down host
+    believed_down = _believed_down_intervals(runtime.stats.detection_log)
+    for coordinator in coordinators:
+        for record in coordinator.records.values():
+            if record.measured_time <= 0 or record.finished_at <= record.started_at:
+                continue
+            start = record.finished_at - record.measured_time
+            for host in record.hosts:
+                for down_at, up_at in believed_down.get(host, []):
+                    if (down_at + _REPORT_DELIVERY_SLACK_S <= start
+                            and (up_at is None or start < up_at)):
+                        violations.append(
+                            f"I2: task {record.task_id!r} of "
+                            f"{coordinator.afg.name!r} started at {start:.3f} "
+                            f"on {host!r}, believed down since {down_at:.3f}"
+                        )
+
+    # I4: injection log <-> detection log reconciliation
+    detections = list(runtime.stats.detection_log)
+    observed_fp = sum(
+        gm.false_positives for gm in runtime.group_managers.values()
+    )
+    host_names = [h.name for h in all_hosts]
+    down_intervals = {h: injector.downtime_intervals(h) for h in host_names}
+
+    def actually_down(host: str, t: float) -> bool:
+        return any(
+            d <= t and (u is None or t < u)
+            for d, u in down_intervals.get(host, [])
+        )
+
+    counted_fp = sum(
+        1 for t, host, kind in detections
+        if kind == "down" and host in down_intervals and not actually_down(host, t)
+    )
+    if counted_fp != observed_fp:
+        violations.append(
+            f"I4: false-positive reconciliation failed — {counted_fp} "
+            f"detections of healthy hosts vs {observed_fp} recorded "
+            "false positives"
+        )
+    window = (config.suspicion_threshold + 2) * config.echo_period_s
+    for host in host_names:
+        for down_at, up_at in down_intervals[host]:
+            end = up_at if up_at is not None else sim.now
+            if end - down_at <= window or down_at + window > sim.now:
+                continue  # too short, or too close to campaign end
+            if not _was_detected(detections, host, down_at, down_at + window):
+                violations.append(
+                    f"I4: outage of {host!r} at {down_at:.3f} "
+                    f"(lasting {end - down_at:.3f}s) was never detected "
+                    f"within the {window:.0f}s window"
+                )
+
+    return ChaosReport(
+        config=config,
+        outcomes=outcomes,
+        violations=violations,
+        injection_events=len(injector.log),
+        detections=len(detections),
+        false_positives=observed_fp,
+        final_time=sim.now,
+        trace_hash=vdce.trace_hash(),
+        metrics_hash=vdce.metrics_hash(),
+        injection_log=[
+            {"time": round(e.time, 9), "target": e.host, "kind": e.kind}
+            for e in injector.log
+        ],
+    )
+
+
+def _believed_down_intervals(
+    detection_log,
+) -> Dict[str, List[Tuple[float, Optional[float]]]]:
+    """Per-host ``(down_at, up_at)`` intervals from the detection log."""
+    intervals: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+    open_at: Dict[str, float] = {}
+    for t, host, kind in detection_log:
+        if kind == "down" and host not in open_at:
+            open_at[host] = t
+        elif kind == "up" and host in open_at:
+            intervals.setdefault(host, []).append((open_at.pop(host), t))
+    for host, t in open_at.items():
+        intervals.setdefault(host, []).append((t, None))
+    return intervals
+
+
+def _was_detected(detections, host: str, start: float, deadline: float) -> bool:
+    """Was ``host`` believed down at any point in [start, deadline]?
+
+    True if a "down" detection lands in the window, or the host was
+    already believed down when the outage began (prior "down" with no
+    intervening "up").
+    """
+    state_down = False
+    for t, h, kind in detections:
+        if h != host:
+            continue
+        if t < start:
+            state_down = kind == "down"
+        elif t <= deadline and kind == "down":
+            return True
+        elif t > deadline:
+            break
+    return state_down

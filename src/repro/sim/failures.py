@@ -1,4 +1,4 @@
-"""Failure injection: hosts crash and (optionally) recover.
+"""Failure injection: hosts, links, sites and WAN partitions.
 
 Paper §4.1: "the Group Manager ... periodically check[s] all hosts in
 the group by sending echo packets ... When a failure of a host is
@@ -7,60 +7,74 @@ Manager.  The host is then marked as 'down' at the site's
 resource-performance database."
 
 This module provides the ground truth that machinery must detect:
-scheduled or stochastic crash/recover events on hosts.  Detection
-latency experiments (E6) compare the injection log against the
-runtime's repository updates.
+scheduled or stochastic crash/recover events on hosts, link outages,
+whole-site outages, and WAN partitions.  Detection latency experiments
+(E6) and the chaos harness (:mod:`repro.sim.chaos`) compare the
+injection log against the runtime's repository updates.
+
+Every stochastic process draws from its own named RNG stream
+(``fail:<target>``), so adding an injector to one target never perturbs
+another target's fate and campaigns stay deterministic and composable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.host import Host
-from repro.sim.kernel import Process, Simulator, Timeout
+from repro.sim.kernel import Process, SimulationError, Simulator, Timeout
+from repro.sim.network import Link, Network
 
 __all__ = ["FailureEvent", "FailureInjector"]
 
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """Ground-truth record of one state change."""
+    """Ground-truth record of one state change.
+
+    ``host`` carries the target's name: a host name, a link name
+    (``lan:<site>`` / ``wan:<a>-<b>``), ``site:<name>`` for whole-site
+    outage markers, or ``partition`` for partition markers.
+    """
 
     time: float
     host: str
-    kind: str  # "down" | "up"
+    kind: str  # "down" | "up" | "partition" | "heal"
 
 
 class FailureInjector:
-    """Schedules crash/recovery events against topology hosts.
+    """Schedules crash/recovery events against topology resources.
 
-    Two modes:
+    Two modes, for every fault class:
 
-    * :meth:`schedule` — explicit ``(time, host, kind)`` scripts for
-      deterministic tests;
-    * :meth:`start_random` — exponential time-to-failure / time-to-repair
-      per host, for stochastic availability experiments.
+    * scripted — explicit ``(time, target, kind)`` events for
+      deterministic tests (:meth:`schedule`, :meth:`schedule_outage`,
+      :meth:`schedule_link_outage`, :meth:`schedule_site_outage`,
+      :meth:`schedule_partition`);
+    * stochastic — exponential time-to-failure / time-to-repair
+      (:meth:`start_random`, :meth:`start_random_link`).
+
+    Only *effective* state changes are logged: crashing a host that is
+    already down records nothing, so :meth:`downtime_intervals` pairs
+    cleanly even when scripted and stochastic injectors overlap.
     """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.log: List[FailureEvent] = []
 
-    # -- scripted ------------------------------------------------------------
+    # -- scripted host faults ------------------------------------------------
 
     def schedule(self, host: Host, time: float, kind: str = "down") -> None:
         if kind not in ("down", "up"):
             raise ValueError(f"kind must be 'down' or 'up', got {kind!r}")
-
-        def fire() -> None:
-            if kind == "down":
-                host.fail()
-            else:
-                host.recover()
-            self.log.append(FailureEvent(self.sim.now, host.name, kind))
-
-        self.sim.call_at(time, fire)
+        if time < self.sim.now:
+            raise ValueError(
+                f"cannot schedule a failure event in the past "
+                f"(time={time}, now={self.sim.now})"
+            )
+        self.sim.call_at(time, lambda: self._apply_host(host, kind))
 
     def schedule_outage(self, host: Host, start: float, duration: float) -> None:
         """Crash ``host`` at ``start`` and recover it ``duration`` later."""
@@ -68,6 +82,115 @@ class FailureInjector:
             raise ValueError("outage duration must be positive")
         self.schedule(host, start, "down")
         self.schedule(host, start + duration, "up")
+
+    def _apply_host(self, host: Host, kind: str) -> None:
+        if kind == "down":
+            if not host.is_up():
+                return  # already down: nothing changes, nothing logged
+            host.fail()
+        else:
+            if host.is_up():
+                return
+            host.recover()
+        self.log.append(FailureEvent(self.sim.now, host.name, kind))
+
+    # -- scripted link faults ------------------------------------------------
+
+    def schedule_link(self, link: Link, time: float, kind: str = "down") -> None:
+        if kind not in ("down", "up"):
+            raise ValueError(f"kind must be 'down' or 'up', got {kind!r}")
+        if time < self.sim.now:
+            raise ValueError(
+                f"cannot schedule a link event in the past "
+                f"(time={time}, now={self.sim.now})"
+            )
+        self.sim.call_at(time, lambda: self._apply_link(link, kind))
+
+    def schedule_link_outage(self, link: Link, start: float, duration: float) -> None:
+        """Take ``link`` down at ``start`` and restore it ``duration`` later."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self.schedule_link(link, start, "down")
+        self.schedule_link(link, start + duration, "up")
+
+    def _apply_link(self, link: Link, kind: str) -> None:
+        if kind == "down":
+            if not link.up:
+                return
+            link.fail()
+        else:
+            if link.up:
+                return
+            link.recover()
+        self.log.append(FailureEvent(self.sim.now, link.spec.name, kind))
+
+    # -- scripted WAN partitions ----------------------------------------------
+
+    def schedule_partition(
+        self,
+        network: Network,
+        groups: Sequence[Sequence[str]],
+        start: float,
+        duration: float,
+    ) -> None:
+        """Partition the WAN into site ``groups`` for ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("partition duration must be positive")
+        if start < self.sim.now:
+            raise ValueError("cannot schedule a partition in the past")
+        label = " | ".join(",".join(sorted(g)) for g in groups)
+
+        def begin() -> None:
+            downed = network.partition(groups)
+            self.log.append(FailureEvent(self.sim.now, f"partition:{label}", "partition"))
+            for key in downed:
+                self.log.append(
+                    FailureEvent(self.sim.now, network.wan_link(*key).spec.name, "down")
+                )
+
+        def end() -> None:
+            healed = network.heal_partition()
+            for key in healed:
+                self.log.append(
+                    FailureEvent(self.sim.now, network.wan_link(*key).spec.name, "up")
+                )
+            self.log.append(FailureEvent(self.sim.now, f"partition:{label}", "heal"))
+
+        self.sim.call_at(start, begin)
+        self.sim.call_at(start + duration, end)
+
+    # -- scripted whole-site outages -------------------------------------------
+
+    def schedule_site_outage(
+        self,
+        site,
+        network: Network,
+        start: float,
+        duration: float,
+    ) -> None:
+        """Take a whole :class:`~repro.sim.site.Site` down: every host
+        crashes and every link touching the site (LAN + WAN) goes dark."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        if start < self.sim.now:
+            raise ValueError("cannot schedule a site outage in the past")
+
+        def begin() -> None:
+            self.log.append(FailureEvent(self.sim.now, f"site:{site.name}", "down"))
+            for host in sorted(site.hosts.values(), key=lambda h: h.name):
+                self._apply_host(host, "down")
+            for link in network.links_of_site(site.name):
+                self._apply_link(link, "down")
+
+        def end() -> None:
+            for link in network.links_of_site(site.name):
+                self._apply_link(link, "up")
+            for host in sorted(site.hosts.values(), key=lambda h: h.name):
+                self._apply_host(host, "up")
+            self.log.append(FailureEvent(self.sim.now, f"site:{site.name}", "up"))
+
+        self.sim.call_at(start, begin)
+        self.sim.call_at(start + duration, end)
 
     # -- stochastic ------------------------------------------------------------
 
@@ -90,22 +213,50 @@ class FailureInjector:
             rng = self.sim.rng(f"fail:{host.name}")
             while True:
                 yield Timeout(float(rng.exponential(mtbf_s)))
-                host.fail()
-                self.log.append(FailureEvent(self.sim.now, host.name, "down"))
+                self._apply_host(host, "down")
                 yield Timeout(float(rng.exponential(mttr_s)))
-                host.recover()
-                self.log.append(FailureEvent(self.sim.now, host.name, "up"))
+                self._apply_host(host, "up")
 
         return self.sim.process(run(), name=f"failinj:{host.name}")
 
+    def start_random_link(
+        self,
+        link: Link,
+        mtbf_s: float,
+        mttr_s: float,
+    ) -> Process:
+        """Exponential outage/repair process for a link.
+
+        Draws come from the stream ``fail:<link-name>``, independent of
+        every other injector.
+        """
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+
+        def run():
+            rng = self.sim.rng(f"fail:{link.spec.name}")
+            while True:
+                yield Timeout(float(rng.exponential(mtbf_s)))
+                self._apply_link(link, "down")
+                yield Timeout(float(rng.exponential(mttr_s)))
+                self._apply_link(link, "up")
+
+        return self.sim.process(run(), name=f"failinj:{link.spec.name}")
+
     # -- queries --------------------------------------------------------------
 
-    def downtime_intervals(self, host_name: str) -> List[Tuple[float, Optional[float]]]:
-        """``(down_at, up_at)`` pairs for a host; ``up_at`` None if still down."""
+    def downtime_intervals(self, name: str) -> List[Tuple[float, Optional[float]]]:
+        """``(down_at, up_at)`` pairs for a host or link; ``up_at`` is
+        ``None`` while still down.
+
+        Tolerates duplicate "down" (or "up") events for a target already
+        in that state — e.g. overlapping scripted and stochastic
+        injectors — by keeping the earliest "down" of each interval.
+        """
         intervals: List[Tuple[float, Optional[float]]] = []
         down_at: Optional[float] = None
         for event in self.log:
-            if event.host != host_name:
+            if event.host != name:
                 continue
             if event.kind == "down" and down_at is None:
                 down_at = event.time

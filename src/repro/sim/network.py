@@ -16,21 +16,45 @@ between a site and the parent's site, and the size of the transfer"
 
 Intra-host moves are free bar a tiny constant; intra-site moves use the
 site's LAN link; inter-site moves use the WAN link for that site pair.
+
+Links can also *fail*: :meth:`Link.fail` takes a link down (killing any
+in-flight transfer with :class:`LinkDownError`) and :meth:`Link.recover`
+brings it back.  :meth:`Network.partition` expresses a WAN partition as
+the set of cross-group links being down, and per-link ``loss_prob`` /
+``extra_delay_s`` knobs model lossy or slow *control-plane* messaging
+(read by :mod:`repro.net.rpc`; bulk data transfers are unaffected).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.kernel import Signal, SimulationError, Simulator
 
-__all__ = ["Link", "LinkSpec", "Network", "TransferModel", "Transfer"]
+__all__ = [
+    "Link",
+    "LinkDownError",
+    "LinkSpec",
+    "Network",
+    "TransferModel",
+    "Transfer",
+]
 
 #: time charged for a "transfer" between two tasks on the same host
 LOCAL_COPY_TIME = 1e-6
 
 _MIN_RATE = 1e-12
+
+
+class LinkDownError(SimulationError):
+    """A transfer (or message) died because its link went down."""
+
+    def __init__(self, link_name: str, label: str = ""):
+        detail = f" carrying {label!r}" if label else ""
+        super().__init__(f"link {link_name!r} went down{detail}")
+        self.link_name = link_name
+        self.label = label
 
 
 @dataclass(frozen=True)
@@ -93,6 +117,14 @@ class Link:
         self._completion_call = None
         self.bytes_carried_mb = 0.0
         self.transfer_count = 0
+        #: liveness: a down link kills in-flight transfers and rejects new ones
+        self.up = True
+        self.failures = 0
+        #: probability a single control-plane message on this link is lost
+        #: (read by repro.net.rpc; bulk transfers are not affected)
+        self.loss_prob = 0.0
+        #: additional one-way control-message delay (congestion, long routes)
+        self.extra_delay_s = 0.0
 
     @property
     def n_active(self) -> int:
@@ -103,8 +135,40 @@ class Link:
             return 0.0
         return self.spec.bandwidth_mbps / len(self._active)
 
+    def fail(self) -> None:
+        """Take the link down, killing every in-flight transfer.
+
+        Idempotent.  Transfers still in their latency phase die when the
+        latency timer expires and finds the link down.
+        """
+        if not self.up:
+            return
+        self._settle()
+        self.up = False
+        self.failures += 1
+        victims, self._active = list(self._active), []
+        if self._completion_call is not None:
+            self._completion_call.cancelled = True
+            self._completion_call = None
+        self.sim.trace("net.link.down", link=self.spec.name, victims=len(victims))
+        for t in victims:
+            t.finished_at = self.sim.now
+            t.done.fail(LinkDownError(self.spec.name, t.label))
+
+    def recover(self) -> None:
+        """Bring the link back up.  Idempotent."""
+        if self.up:
+            return
+        self.up = True
+        self._last_settle = self.sim.now
+        self.sim.trace("net.link.up", link=self.spec.name)
+
     def transfer(self, size_mb: float, label: str = "xfer") -> Transfer:
-        """Start a transfer; its ``done`` signal fires on completion."""
+        """Start a transfer; its ``done`` signal fires on completion.
+
+        On a down link — at start, or by the end of the latency phase —
+        ``done`` fails with :class:`LinkDownError` instead.
+        """
         if size_mb < 0:
             raise SimulationError(f"negative transfer size: {size_mb}")
         t = Transfer(self, size_mb, label)
@@ -112,6 +176,10 @@ class Link:
         self.bytes_carried_mb += size_mb
 
         def begin_bandwidth_phase() -> None:
+            if not self.up:
+                t.finished_at = self.sim.now
+                t.done.fail(LinkDownError(self.spec.name, t.label))
+                return
             self._settle()
             if t.remaining_mb <= 0.0:
                 t.finished_at = self.sim.now
@@ -120,6 +188,14 @@ class Link:
             self._active.append(t)
             self._reschedule_completion()
 
+        if not self.up:
+            # fail asynchronously so callers can always yield t.done
+            def reject() -> None:
+                t.finished_at = self.sim.now
+                t.done.fail(LinkDownError(self.spec.name, t.label))
+
+            self.sim.call_at(self.sim.now, reject)
+            return t
         # latency phase first, then join the shared-bandwidth phase
         self.sim.call_after(self.spec.latency_s, begin_bandwidth_phase)
         self.sim.trace("net.xfer.start", link=self.spec.name, label=label, mb=size_mb)
@@ -212,6 +288,10 @@ class Network:
         self._lans: Dict[str, Link] = {}
         self._wans: Dict[Tuple[str, str], Link] = {}
         self._host_sites: Dict[str, str] = {}
+        #: site -> partition group id while a partition is active
+        self._partition_group: Dict[str, int] = {}
+        #: WAN keys this partition took down (recovered on heal)
+        self._partition_links: Set[Tuple[str, str]] = set()
 
     # -- construction ----------------------------------------------------
 
@@ -250,22 +330,139 @@ class Network:
         site_a, site_b = self.site_of(src_host), self.site_of(dst_host)
         if site_a == site_b:
             return self._lans[site_a]
-        key = self._wan_key(site_a, site_b)
-        if key not in self._wans:
-            # full-mesh default: lazily create the WAN link for this pair
-            self.set_wan(site_a, site_b, self.default_wan)
-        return self._wans[key]
+        return self.wan_link(site_a, site_b)
 
     def wan_link(self, site_a: str, site_b: str) -> Link:
         key = self._wan_key(site_a, site_b)
         if key not in self._wans:
             self.set_wan(site_a, site_b, self.default_wan)
+            if self._crosses_partition(site_a, site_b):
+                # lazily created mid-partition: it is down like its peers
+                self._wans[key].fail()
+                self._partition_links.add(key)
         return self._wans[key]
 
     def lan_link(self, site_name: str) -> Link:
         if site_name not in self._lans:
             self.set_lan(site_name, self.default_lan)
         return self._lans[site_name]
+
+    @property
+    def site_names(self) -> List[str]:
+        return sorted(self._lans)
+
+    def links_of_site(self, site_name: str) -> List[Link]:
+        """The site's LAN plus every WAN link touching it (full mesh).
+
+        Used for whole-site outages: taking all of these down isolates
+        the site at the network layer.
+        """
+        links = [self.lan_link(site_name)]
+        for other in self.site_names:
+            if other != site_name:
+                links.append(self.wan_link(site_name, other))
+        return links
+
+    # -- partitions -------------------------------------------------------
+
+    def _crosses_partition(self, site_a: str, site_b: str) -> bool:
+        if not self._partition_group:
+            return False
+        ga = self._partition_group.get(site_a)
+        gb = self._partition_group.get(site_b)
+        return ga != gb
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> List[Tuple[str, str]]:
+        """Partition the WAN: sites in different groups cannot talk.
+
+        Every registered site must appear in exactly one group.  Takes
+        down each WAN link crossing a group boundary (killing in-flight
+        transfers) and remembers which, so :meth:`heal_partition`
+        restores exactly those — a link downed independently stays down.
+        Returns the downed ``(site_a, site_b)`` keys.
+        """
+        if self._partition_group:
+            raise SimulationError("a partition is already active")
+        assignment: Dict[str, int] = {}
+        for gid, group in enumerate(groups):
+            for site in group:
+                if site not in self._lans:
+                    raise SimulationError(f"unknown site {site!r}")
+                if site in assignment:
+                    raise SimulationError(f"site {site!r} in two groups")
+                assignment[site] = gid
+        missing = [s for s in self.site_names if s not in assignment]
+        if missing:
+            raise SimulationError(f"sites not assigned to a group: {missing}")
+        self._partition_group = assignment
+        downed: List[Tuple[str, str]] = []
+        sites = self.site_names
+        for i, site_a in enumerate(sites):
+            for site_b in sites[i + 1:]:
+                if assignment[site_a] == assignment[site_b]:
+                    continue
+                key = self._wan_key(site_a, site_b)
+                if key not in self._wans:
+                    self.set_wan(site_a, site_b, self.default_wan)
+                link = self._wans[key]
+                if link.up:
+                    link.fail()
+                    self._partition_links.add(key)
+                    downed.append(key)
+        return downed
+
+    def heal_partition(self) -> List[Tuple[str, str]]:
+        """End the active partition, recovering the links it took down."""
+        healed = sorted(self._partition_links)
+        for key in healed:
+            self._wans[key].recover()
+        self._partition_links.clear()
+        self._partition_group.clear()
+        return healed
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition_group)
+
+    def reachable(self, site_a: str, site_b: str) -> bool:
+        """Can control traffic flow between two sites right now?"""
+        if site_a == site_b:
+            return self.lan_link(site_a).up
+        return self.wan_link(site_a, site_b).up
+
+    # -- control-message quality knobs ------------------------------------
+
+    def set_message_loss(self, prob: float, site_a: Optional[str] = None,
+                         site_b: Optional[str] = None) -> None:
+        """Set control-message loss probability on WAN links.
+
+        With both sites given, targets that pair's link; with neither,
+        applies to every WAN link of the (full-mesh) federation.
+        """
+        if not (0.0 <= prob < 1.0):
+            raise SimulationError("loss probability must be in [0, 1)")
+        for link in self._select_wans(site_a, site_b):
+            link.loss_prob = prob
+
+    def set_message_delay(self, extra_s: float, site_a: Optional[str] = None,
+                          site_b: Optional[str] = None) -> None:
+        """Add one-way control-message delay on WAN links."""
+        if extra_s < 0:
+            raise SimulationError("extra delay must be non-negative")
+        for link in self._select_wans(site_a, site_b):
+            link.extra_delay_s = extra_s
+
+    def _select_wans(self, site_a: Optional[str], site_b: Optional[str]) -> List[Link]:
+        if (site_a is None) != (site_b is None):
+            raise SimulationError("give both sites or neither")
+        if site_a is not None:
+            return [self.wan_link(site_a, site_b)]
+        sites = self.site_names
+        return [
+            self.wan_link(a, b)
+            for i, a in enumerate(sites)
+            for b in sites[i + 1:]
+        ]
 
     # -- use ------------------------------------------------------------------
 

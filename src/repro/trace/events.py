@@ -62,6 +62,13 @@ class EventKind:
     RESCHEDULE = "reschedule"
     TASKPERF_UPDATE = "taskperf_update"
 
+    # -- faults / control-plane retries (second-generation fault model) ----
+    RPC_RETRY = "rpc_retry"
+    RPC_TIMEOUT = "rpc_timeout"
+    SITE_UNREACHABLE = "site_unreachable"
+    TRANSFER_RETRY = "transfer_retry"
+    CHANNEL_REESTABLISH = "channel_reestablish"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

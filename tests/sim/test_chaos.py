@@ -1,0 +1,83 @@
+"""The chaos-campaign harness: invariants, determinism, typed failures."""
+
+import pytest
+
+from repro.sim.chaos import ChaosConfig, run_campaign, smoke_config
+
+
+def test_smoke_campaign_passes_all_invariants():
+    report = run_campaign(smoke_config(seed=0))
+    assert report.ok, report.violations
+    assert len(report.outcomes) == 3
+    assert all(
+        outcome["status"] in ("completed", "failed")
+        for outcome in report.outcomes.values()
+    )
+    assert report.injection_events > 0
+    assert report.detections > 0
+
+
+def test_same_seed_is_byte_deterministic():
+    first = run_campaign(smoke_config(seed=0))
+    second = run_campaign(smoke_config(seed=0))
+    assert first.trace_hash == second.trace_hash
+    assert first.metrics_hash == second.metrics_hash
+    assert first.campaign_hash() == second.campaign_hash()
+
+
+def test_different_seeds_diverge():
+    assert (run_campaign(smoke_config(seed=0)).campaign_hash()
+            != run_campaign(smoke_config(seed=1)).campaign_hash())
+
+
+def test_faults_produce_typed_failures_not_crashes():
+    """A harsher campaign: applications may fail, but only with typed
+    errors — and the invariant audit still passes."""
+    config = ChaosConfig(
+        seed=5,
+        n_sites=3,
+        hosts_per_site=3,
+        n_apps=3,
+        duration_s=240.0,
+        app_spacing_s=35.0,
+        n_flaky_hosts=3,
+        host_mtbf_s=60.0,
+        host_mttr_s=30.0,
+        n_flaky_links=2,
+        link_mtbf_s=80.0,
+        link_mttr_s=25.0,
+        partition_at_s=40.0,
+        partition_duration_s=30.0,
+        message_loss_prob=0.1,
+        echo_loss_prob=0.05,
+    )
+    report = run_campaign(config)
+    assert report.ok, report.violations
+    statuses = {o["status"] for o in report.outcomes.values()}
+    assert statuses <= {"completed", "failed"}
+    for outcome in report.outcomes.values():
+        if outcome["status"] == "failed":
+            assert outcome["error"] in (
+                "ExecutionError", "SchedulingError", "RpcTimeout", "HostDownError",
+            )
+
+
+def test_injection_log_is_serialised_in_report():
+    report = run_campaign(smoke_config(seed=0))
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["injection_log"]
+    assert {"time", "target", "kind"} <= set(payload["injection_log"][0])
+    # partition markers are part of the ground truth
+    assert any(e["kind"] == "partition" for e in payload["injection_log"])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChaosConfig(n_apps=0)
+    with pytest.raises(ValueError):
+        ChaosConfig(message_loss_prob=1.0)
+    with pytest.raises(ValueError):
+        ChaosConfig(duration_s=0.0)
+    with pytest.raises(ValueError):
+        ChaosConfig(n_flaky_hosts=-1)
