@@ -15,9 +15,20 @@ Exercises the paper's §4.1 machinery end to end:
   re-establishing channels once the partition heals, while an
   application submitted *during* the partition degrades gracefully to
   local-only placement (no remote site answers the AFG multicast
-  before the bid deadline).
+  before the bid deadline);
+* a fourth scenario crashes the submitting site's VDCE Server (the
+  Site Manager process) mid-application: every completed task is
+  already in the durable checkpoint journal, so the run restarts on
+  the surviving site, re-executes only the frontier, and reproduces
+  the exact output hashes of an uninterrupted run.
 
-Run:  python examples/fault_tolerant_pipeline.py
+Run:  python examples/fault_tolerant_pipeline.py [checkpoint_dir]
+
+With a ``checkpoint_dir`` argument scenario 4 leaves its journal,
+repository snapshots and ``expected_hashes.json`` there, so the CI
+resume smoke step (or you) can independently verify
+
+    python -m repro resume <dir> --expect <dir>/expected_hashes.json
 
 Expected output of scenario 3 (seed-pinned, deterministic):
 
@@ -32,8 +43,22 @@ Expected output of scenario 3 (seed-pinned, deterministic):
     site scheduler timed-out RPCs: 4
 """
 
+import json
+import os
+import sys
+import tempfile
+
 from repro import VDCE
+from repro.net.rpc import ManagerUnavailable
 from repro.runtime import RuntimeConfig
+from repro.runtime.checkpoint import (
+    ApplicationCheckpoint,
+    create_checkpoint_dir,
+    expected_output_hashes,
+    final_output_hashes,
+    journal_path,
+)
+from repro.runtime.execution import ExecutionCoordinator
 from repro.scheduler import SiteScheduler
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.sim import FailureInjector
@@ -162,7 +187,63 @@ def partition_scenario() -> None:
     print(f"site scheduler timed-out RPCs: {env.runtime.stats.rpc_timeouts}")
 
 
+def checkpoint_resume_scenario(checkpoint_dir=None) -> None:
+    print()
+    print("=" * 64)
+    print("scenario 4: Site Manager crash + checkpoint restart")
+    print("=" * 64)
+    directory = checkpoint_dir or tempfile.mkdtemp(prefix="vdce-checkpoint-")
+
+    env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=8)
+    afg = linear_pipeline(n_stages=5, cost=4.0, edge_mb=1.0)
+
+    # the resume-equivalence oracle: pure evaluation, no runtime at all
+    expected = expected_output_hashes(afg, env.runtime.registry)
+    journal = create_checkpoint_dir(env, directory)
+    with open(os.path.join(directory, "expected_hashes.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(expected, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    table = SiteScheduler(k=1).schedule(afg, env.runtime.federation_view())
+    proc = env.runtime.execute_process(
+        afg, table, submit_site="site-0", journal=journal
+    )
+    injector = FailureInjector(env.sim)
+    injector.schedule_site_manager_crash(
+        env.runtime.site_managers["site-0"], time=5.0
+    )
+    print("crashing site-0's VDCE Server (Site Manager) at t=+5.0s")
+    try:
+        env.sim.run_until_complete(proc)
+        print("application finished before the crash bit (unexpected)")
+    except ManagerUnavailable as exc:
+        print(f"control plane lost: {exc}")
+
+    checkpoint = ApplicationCheckpoint.load(journal_path(directory))
+    print(f"journal holds {len(checkpoint.completed)} completed task(s); "
+          f"frontier to re-run: {checkpoint.incomplete()}")
+
+    coordinator = ExecutionCoordinator(
+        env.runtime, checkpoint.afg, checkpoint.table,
+        submit_site="site-1", journal=journal, checkpoint=checkpoint,
+    )
+    result = env.sim.run_until_complete(coordinator.start())
+    env.save_repositories(os.path.join(directory, "repos"))
+    print(f"restarted on site-1 and completed at t={result.finished_at:.2f}s "
+          f"({env.runtime.stats.resumes} resume, "
+          f"{result.reschedules} reschedule(s))")
+    equivalent = final_output_hashes(result) == expected
+    print(f"resume equivalence (crash+restart == uninterrupted): {equivalent}")
+    print(f"checkpoint directory: {directory}")
+    print("  verify offline:  python -m repro resume "
+          f"{directory} --expect {directory}/expected_hashes.json")
+    if not equivalent:
+        raise SystemExit(1)
+
+
 if __name__ == "__main__":
     crash_scenario()
     load_threshold_scenario()
     partition_scenario()
+    checkpoint_resume_scenario(sys.argv[1] if len(sys.argv) > 1 else None)

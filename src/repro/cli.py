@@ -15,6 +15,11 @@ Commands:
   structural diff (first divergent event + per-kind count deltas);
 * ``experiments`` — print the experiment index (DESIGN.md §4) and the
   bench command that regenerates each one;
+* ``resume <dir>`` — resume an interrupted application from a
+  checkpoint directory written by ``run --journal`` (optionally
+  checking resume equivalence against expected output hashes);
+* ``selftest`` / ``verify`` — quick end-to-end health check across all
+  subsystems (failure rescheduling, checkpoint/resume, DSM, sockets);
 * ``serve`` — start the Flask web editor (requires flask).
 """
 
@@ -115,7 +120,27 @@ def cmd_run(args) -> int:
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
-    result = env.submit(afg, k=args.k, execute_payloads=payloads)
+    if args.journal:
+        from repro.runtime.checkpoint import create_checkpoint_dir, journal_path
+        from repro.scheduler import SiteScheduler
+
+        journal = create_checkpoint_dir(env, args.journal)
+
+        def pipeline():
+            table, _sched = yield from env.runtime.schedule_process(
+                afg, SiteScheduler(k=args.k, model=env.runtime.model)
+            )
+            value = yield env.runtime.execute_process(
+                afg, table, journal=journal, execute_payloads=payloads
+            )
+            return value
+
+        proc = env.sim.process(pipeline(), name=f"submit:{afg.name}")
+        result = env.sim.run_until_complete(proc)
+        print(f"checkpoint journal: {journal_path(args.journal)} "
+              f"({journal.bytes_written} bytes)")
+    else:
+        result = env.submit(afg, k=args.k, execute_payloads=payloads)
 
     print(f"application {result.application!r}: "
           f"{len(result.records)} tasks on {len(env.sites)} sites")
@@ -374,10 +399,81 @@ def cmd_selftest(args) -> int:
 
     check("failure detection + task rescheduling", failure_recovery)
 
+    def checkpoint_resume():
+        import os
+        import tempfile
+
+        from repro.runtime.checkpoint import (
+            create_checkpoint_dir,
+            expected_output_hashes,
+            final_output_hashes,
+            resume_run,
+        )
+        from repro.workloads import linear_pipeline
+
+        with tempfile.TemporaryDirectory() as tmp:
+            env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=4)
+            afg = linear_pipeline(n_stages=4, cost=4.0, edge_mb=1.0)
+            expected = expected_output_hashes(afg, env.runtime.registry)
+            table = SiteScheduler(k=1).schedule(
+                afg, env.runtime.federation_view()
+            )
+            journal = create_checkpoint_dir(env, tmp)
+            env.runtime.execute_process(afg, table, journal=journal)
+            env.sim.run(until=8.0)  # "crash" mid-application
+            env.save_repositories(os.path.join(tmp, "repos"))
+            _env2, result = resume_run(tmp)
+            assert final_output_hashes(result) == expected
+
+    check("checkpoint journal + resume equivalence", checkpoint_resume)
+
     if failures:
         print(f"\n{len(failures)} check(s) FAILED: {failures}")
         return 1
     print("\nall checks passed")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Resume an interrupted application from a checkpoint directory."""
+    import json as _json
+
+    from repro.runtime.checkpoint import final_output_hashes, resume_run
+
+    try:
+        _env, result = resume_run(
+            args.directory, submit_site=args.site, limit=args.limit
+        )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot resume from {args.directory}: {exc}")
+        return 1
+    hashes = final_output_hashes(result)
+    print(f"application {result.application!r} resumed and completed: "
+          f"{len(result.records)} tasks, "
+          f"{result.reschedules} reschedules, "
+          f"finished at t={result.finished_at:.3f}s")
+    for task_id in sorted(hashes):
+        print(f"  {task_id}: {hashes[task_id]}")
+    if args.hashes:
+        with open(args.hashes, "w", encoding="utf-8") as fh:
+            _json.dump(hashes, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"output hashes written to {args.hashes}")
+    if args.expect:
+        try:
+            with open(args.expect, encoding="utf-8") as fh:
+                expected = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load expected hashes {args.expect}: {exc}")
+            return 1
+        if hashes != expected:
+            print("resume equivalence FAILED — output hashes differ:")
+            for task in sorted(set(expected) | set(hashes)):
+                want, got = expected.get(task), hashes.get(task)
+                if want != got:
+                    print(f"  {task}: expected {want}, got {got}")
+            return 1
+        print("resume equivalence verified: output hashes match expected")
     return 0
 
 
@@ -498,6 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", metavar="PATH",
                      help="record a metrics snapshot to PATH (canonical "
                           "JSON) and print its content hash")
+    run.add_argument("--journal", metavar="DIR",
+                     help="checkpoint the application to DIR (meta.json + "
+                          "repos/ + journal.jsonl); resume later with "
+                          "'repro resume DIR'")
 
     mon = sub.add_parser("monitor", help="run the control plane alone")
     mon.add_argument("--sites", type=int, default=2)
@@ -550,7 +650,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="print the experiment index")
 
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted application from a checkpoint dir")
+    resume.add_argument("directory",
+                        help="checkpoint directory written by run --journal "
+                             "(meta.json + journal.jsonl + repos/)")
+    resume.add_argument("--site",
+                        help="submitting site override (default: the "
+                             "journalled submit site)")
+    resume.add_argument("--limit", type=float, default=None,
+                        help="virtual-time limit for the resumed run")
+    resume.add_argument("--expect", metavar="PATH",
+                        help="JSON file of expected terminal output hashes; "
+                             "exit 1 unless the resumed run reproduces them")
+    resume.add_argument("--hashes", metavar="PATH",
+                        help="write the resumed run's terminal output "
+                             "hashes (JSON) to PATH")
+
     sub.add_parser("selftest", help="quick end-to-end health check")
+    sub.add_parser("verify", help="alias for selftest")
 
     serve = sub.add_parser("serve", help="start the Flask web editor")
     serve.add_argument("--port", type=int, default=8080)
@@ -572,7 +691,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": cmd_chaos,
         "topology": cmd_topology,
         "experiments": cmd_experiments,
+        "resume": cmd_resume,
         "selftest": cmd_selftest,
+        "verify": cmd_selftest,
         "serve": cmd_serve,
     }
     return handlers[args.command](args)

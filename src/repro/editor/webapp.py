@@ -279,10 +279,14 @@ def create_webapp(runtime: VDCERuntime, site: str | None = None):
                         "predicted_s": r.predicted_time,
                         "measured_s": r.measured_time,
                         "attempts": r.attempts,
+                        "transfer_retries": r.transfer_retries,
+                        "channel_reestablishes": r.channel_reestablishes,
                     }
                     for t, r in result.records.items()
                 },
                 "reschedules": result.reschedules,
+                "transfer_retries": result.transfer_retries,
+                "channel_reestablishes": result.channel_reestablishes,
             }
         )
 

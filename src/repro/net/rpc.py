@@ -34,7 +34,13 @@ from repro.sim.network import LinkDownError, Network
 from repro.trace.events import EventKind
 from repro.trace.tracer import NULL_TRACER, Tracer
 
-__all__ = ["ControlPlane", "RetryPolicy", "RpcError", "RpcTimeout"]
+__all__ = [
+    "ControlPlane",
+    "ManagerUnavailable",
+    "RetryPolicy",
+    "RpcError",
+    "RpcTimeout",
+]
 
 
 class RpcError(RuntimeError):
@@ -48,6 +54,25 @@ class RpcTimeout(RpcError):
         super().__init__(f"rpc {label!r} failed after {attempts} attempt(s)")
         self.label = label
         self.attempts = attempts
+
+
+class ManagerUnavailable(RpcError):
+    """The target manager process is crashed.
+
+    Raised by Site/Group Manager entry points while crashed.  Inside
+    :meth:`ControlPlane.request` a handler raising this is treated the
+    same as an undelivered request — nobody answered the port — so the
+    attempt retries and eventually surfaces as :class:`RpcTimeout`,
+    which the callers already turn into site exclusion.  Raised
+    *outside* an RPC (a local call on the same site) it propagates as a
+    typed failure the chaos harness and the checkpoint-restart path
+    catch.
+    """
+
+    def __init__(self, manager: str, role: str = "site manager"):
+        super().__init__(f"{role} {manager!r} is crashed")
+        self.manager = manager
+        self.role = role
 
 
 @dataclass(frozen=True)
@@ -151,18 +176,27 @@ class ControlPlane:
                 policy, rng, started, transport,
             )
             if delivered:
-                value = handler()
-                if inspect.isgenerator(value):
-                    value = yield from value
-                if on_reply is not None:
-                    on_reply(attempt)
-                size = reply_mb(value) if callable(reply_mb) else reply_mb
-                acked = yield from self._leg(
-                    dst_host, src_host, size, f"{label}:rep",
-                    policy, rng, started, transport,
-                )
-                if acked:
-                    return value
+                try:
+                    value = handler()
+                    if inspect.isgenerator(value):
+                        value = yield from value
+                except ManagerUnavailable:
+                    # the destination manager is crashed: no reply ever
+                    # comes back, exactly like a lost datagram — burn the
+                    # rest of this attempt's deadline and retry
+                    remaining = policy.timeout_s - (self.sim.now - started)
+                    if remaining > 0:
+                        yield Timeout(remaining)
+                else:
+                    if on_reply is not None:
+                        on_reply(attempt)
+                    size = reply_mb(value) if callable(reply_mb) else reply_mb
+                    acked = yield from self._leg(
+                        dst_host, src_host, size, f"{label}:rep",
+                        policy, rng, started, transport,
+                    )
+                    if acked:
+                        return value
             if self.stats is not None:
                 self.stats.rpc_retries += 1
             if self.tracer.enabled:

@@ -1,0 +1,413 @@
+"""Durable application checkpoint journal and resume support.
+
+The paper targets "long-running C3I applications on unreliable WAN
+resources"; losing every completed task to a runtime restart is not an
+option at that scale.  This module gives one application a durable,
+append-only, crash-consistent journal recording
+
+* the schedule (AFG + resource allocation table + submitting site),
+* every task completion, with the content hash, encoded value and
+  location of each output port (so completed outputs are re-stageable
+  through the Data Manager machinery without re-running the task),
+* every reschedule, and
+* every resume.
+
+Crash consistency is per-record: each JSONL line carries a checksum of
+its own body, and the reader stops at the first corrupt or truncated
+line — a crash mid-append loses at most the record being written,
+never an earlier one.  Opening an existing journal for append truncates
+any torn tail first, so post-crash appends are always readable.
+
+:func:`resume_run` rebuilds a fresh deployment from the journal plus
+the ``save_repositories()`` snapshots next to it and re-executes only
+the incomplete frontier.  The *resume-equivalence oracle* rests on the
+task library being deterministic pure functions of ``(inputs, scale)``:
+:func:`expected_output_hashes` evaluates the AFG without any runtime at
+all, and crash+resume must reproduce exactly those final output hashes
+(checked by the chaos invariant I5, the CLI ``repro resume --expect``
+path, and the resume test suite).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.afg.graph import ApplicationFlowGraph
+from repro.afg.serialize import afg_from_dict, afg_to_dict
+from repro.scheduler.allocation import AllocationTable
+
+__all__ = [
+    "ApplicationCheckpoint",
+    "CheckpointJournal",
+    "create_checkpoint_dir",
+    "decode_value",
+    "encode_value",
+    "expected_output_hashes",
+    "final_output_hashes",
+    "journal_path",
+    "resume_run",
+    "value_hash",
+]
+
+_JOURNAL_FILENAME = "journal.jsonl"
+_META_FILENAME = "meta.json"
+_REPOS_DIRNAME = "repos"
+
+
+# -- canonical value hashing -------------------------------------------------
+
+
+def _feed(h, value: Any) -> None:
+    """Feed one value into a hash, type-tagged and representation-stable.
+
+    Canonical across runs and processes: numpy arrays hash their dtype,
+    shape and raw bytes; floats their IEEE-754 encoding; dicts their
+    sorted items — never ``repr`` or pickle, whose output can vary.
+    """
+    if value is None:
+        h.update(b"N")
+    elif isinstance(value, bool):
+        h.update(b"B1" if value else b"B0")
+    elif isinstance(value, (int, np.integer)):
+        h.update(b"I" + str(int(value)).encode("ascii"))
+    elif isinstance(value, (float, np.floating)):
+        h.update(b"F" + struct.pack(">d", float(value)))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        h.update(b"S" + str(len(raw)).encode("ascii") + b":" + raw)
+    elif isinstance(value, bytes):
+        h.update(b"Y" + str(len(value)).encode("ascii") + b":" + value)
+    elif isinstance(value, np.ndarray):
+        h.update(b"A" + value.dtype.str.encode("ascii"))
+        h.update(str(value.shape).encode("ascii"))
+        h.update(np.ascontiguousarray(value).tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(b"L" + str(len(value)).encode("ascii"))
+        for item in value:
+            _feed(h, item)
+    elif isinstance(value, dict):
+        h.update(b"D" + str(len(value)).encode("ascii"))
+        for key in sorted(value, key=str):
+            _feed(h, str(key))
+            _feed(h, value[key])
+    else:
+        # last resort for exotic payloads: a stable repr round
+        h.update(b"R" + repr(value).encode("utf-8"))
+
+
+def value_hash(value: Any) -> str:
+    """Canonical sha256 content hash of one task output value."""
+    h = hashlib.sha256()
+    _feed(h, value)
+    return h.hexdigest()
+
+
+def encode_value(value: Any) -> str:
+    """JSON-safe encoding of an arbitrary output payload."""
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_value(encoded: str) -> Any:
+    return pickle.loads(base64.b64decode(encoded.encode("ascii")))
+
+
+# -- the journal -------------------------------------------------------------
+
+
+def _record_crc(body: Dict[str, Any]) -> str:
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Append-only, crash-consistent JSONL journal for one application.
+
+    With a ``path``, every append writes one checksummed line and
+    fsyncs — after a crash the file is a valid prefix of the record
+    stream plus at most one torn line, which both :meth:`read` and
+    re-opening for append discard.  With ``path=None`` the journal is
+    memory-only (the chaos harness uses this: same record stream and
+    byte accounting, no filesystem).
+    """
+
+    def __init__(self, path: Optional[str] = None, enabled: bool = True):
+        self.path = path
+        self.enabled = enabled
+        self.bytes_written = 0
+        self._records: List[Dict[str, Any]] = []
+        if path is not None and os.path.exists(path):
+            self._records, valid_bytes = self._scan(path)
+            size = os.path.getsize(path)
+            if size > valid_bytes:
+                # torn tail from a crash mid-append: drop it before
+                # appending, so the stream stays a readable prefix
+                with open(path, "r+b") as fh:
+                    fh.truncate(valid_bytes)
+
+    # -- write side -------------------------------------------------------
+
+    def append(self, kind: str, **fields: Any) -> int:
+        """Append one record; returns the bytes it occupied on the wire."""
+        if not self.enabled:
+            return 0
+        body = {"kind": kind, **fields}
+        line_obj = dict(body)
+        line_obj["crc"] = _record_crc(body)
+        line = json.dumps(line_obj, sort_keys=True, separators=(",", ":")) + "\n"
+        raw = line.encode("utf-8")
+        if self.path is not None:
+            with open(self.path, "ab") as fh:
+                fh.write(raw)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._records.append(body)
+        self.bytes_written += len(raw)
+        return len(raw)
+
+    # -- read side --------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every record appended (or recovered from disk), in order."""
+        return list(self._records)
+
+    @staticmethod
+    def _scan(path: str) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse the valid prefix; returns (records, valid byte length)."""
+        records: List[Dict[str, Any]] = []
+        valid_bytes = 0
+        with open(path, "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # truncated final line
+                try:
+                    line_obj = json.loads(raw.decode("utf-8"))
+                    crc = line_obj.pop("crc")
+                except (ValueError, KeyError):
+                    break
+                if _record_crc(line_obj) != crc:
+                    break  # corrupt line: stop, do not trust anything after
+                records.append(line_obj)
+                valid_bytes += len(raw)
+        return records, valid_bytes
+
+    @staticmethod
+    def read(path: str) -> List[Dict[str, Any]]:
+        """The valid record prefix of a journal file."""
+        records, _valid = CheckpointJournal._scan(path)
+        return records
+
+
+# -- the parsed checkpoint ---------------------------------------------------
+
+
+@dataclass
+class ApplicationCheckpoint:
+    """One application's recovered state, parsed from its journal."""
+
+    application: str
+    scheduler: str
+    submit_site: str
+    afg: ApplicationFlowGraph
+    table: AllocationTable
+    #: task id -> its ``task_complete`` journal record
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    reschedules: List[Dict[str, Any]] = field(default_factory=list)
+    resumes: int = 0
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "ApplicationCheckpoint":
+        if not records or records[0].get("kind") != "schedule":
+            raise ValueError(
+                "journal has no schedule record — nothing to resume from"
+            )
+        head = records[0]
+        checkpoint = cls(
+            application=head["application"],
+            scheduler=head["scheduler"],
+            submit_site=head["submit_site"],
+            afg=afg_from_dict(head["afg"]),
+            table=AllocationTable.from_dict(head["table"]),
+        )
+        for record in records[1:]:
+            kind = record.get("kind")
+            if kind == "task_complete":
+                checkpoint.completed[record["task"]] = record
+            elif kind == "reschedule":
+                checkpoint.reschedules.append(record)
+            elif kind == "resume":
+                checkpoint.resumes += 1
+                checkpoint.submit_site = record.get(
+                    "submit_site", checkpoint.submit_site
+                )
+        return checkpoint
+
+    @classmethod
+    def load(cls, path: str) -> "ApplicationCheckpoint":
+        return cls.from_records(CheckpointJournal.read(path))
+
+    def incomplete(self) -> List[str]:
+        """The frontier to re-execute, in topological order."""
+        return [
+            task_id
+            for task_id in self.afg.topological_order()
+            if task_id not in self.completed
+        ]
+
+    def output_value(self, task_id: str, port: int) -> Any:
+        """Decode one completed task's recorded output payload."""
+        record = self.completed[task_id]
+        return decode_value(record["outputs"][port]["value"])
+
+
+# -- resume-equivalence oracle -----------------------------------------------
+
+
+def expected_output_hashes(afg: ApplicationFlowGraph, registry) -> Dict[str, str]:
+    """Final output hashes from pure evaluation — no runtime involved.
+
+    Task implementations are deterministic pure functions of
+    ``(inputs, scale)``, so the terminal outputs are independent of
+    placement, timing, faults, reschedules and resumes.  This evaluates
+    the AFG directly and hashes each terminal task's output list: the
+    ground truth any run — interrupted or not — must reproduce.
+
+    File inputs without a registered loader resolve to the same
+    :class:`~repro.runtime.services.StagedFile` handle the I/O service
+    produces; AFGs whose loaders inject external data are outside this
+    oracle's scope.
+    """
+    from repro.runtime.services import StagedFile
+
+    produced: Dict[Tuple[str, int], Any] = {}
+    hashes: Dict[str, str] = {}
+    for task_id in afg.topological_order():
+        node = afg.task(task_id)
+        port_values: Dict[int, Any] = {}
+        for edge in afg.in_edges(task_id):
+            port_values[edge.dst_port] = produced[(edge.src, edge.src_port)]
+        for binding in node.properties.file_inputs():
+            port_values[binding.port] = StagedFile(
+                binding.file.path, binding.file.size_mb
+            )
+        inputs = [port_values.get(p) for p in range(node.n_in_ports)]
+        outputs = registry.get(node.task_type).run(
+            inputs, node.properties.workload_scale
+        )
+        for port, value in enumerate(outputs):
+            produced[(task_id, port)] = value
+        if not afg.out_edges(task_id):
+            hashes[task_id] = value_hash(outputs)
+    return hashes
+
+
+def final_output_hashes(result) -> Dict[str, str]:
+    """Content hashes of an :class:`ApplicationResult`'s terminal outputs."""
+    return {
+        task_id: value_hash(outputs)
+        for task_id, outputs in sorted(result.outputs.items())
+    }
+
+
+# -- checkpoint directories and the resume path ------------------------------
+
+
+def journal_path(directory: str) -> str:
+    return os.path.join(directory, _JOURNAL_FILENAME)
+
+
+def create_checkpoint_dir(vdce, directory: str) -> CheckpointJournal:
+    """Prepare ``directory`` as a durable checkpoint for ``vdce``.
+
+    Writes ``meta.json`` (the deployment spec, so :func:`resume_run`
+    can rebuild an equivalent federation) and the per-site repository
+    snapshots under ``repos/``, then returns the journal to hand to
+    :meth:`~repro.runtime.vdce_runtime.VDCERuntime.execute_process`.
+    Call :meth:`~repro.core.vdce.VDCE.save_repositories` again at any
+    later point to refresh the durable background state.
+    """
+    from dataclasses import asdict
+
+    if vdce.spec is None:
+        raise ValueError(
+            "checkpointing needs a spec-built VDCE (resume must be able "
+            "to rebuild the topology)"
+        )
+    os.makedirs(directory, exist_ok=True)
+    meta = {"deployment": asdict(vdce.spec)}
+    with open(os.path.join(directory, _META_FILENAME), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    vdce.save_repositories(os.path.join(directory, _REPOS_DIRNAME))
+    return CheckpointJournal(journal_path(directory))
+
+
+def _spec_from_meta(meta: Dict[str, Any]):
+    from repro.core.config import DeploymentSpec, HostConfig, SiteConfig
+
+    payload = dict(meta["deployment"])
+    sites = []
+    for site in payload.pop("sites"):
+        site = dict(site)
+        site["hosts"] = tuple(HostConfig(**h) for h in site.get("hosts", ()))
+        sites.append(SiteConfig(**site))
+    payload["sites"] = tuple(sites)
+    payload["wan_overrides"] = tuple(
+        tuple(o) for o in payload.get("wan_overrides", ())
+    )
+    return DeploymentSpec(**payload)
+
+
+def resume_run(
+    directory: str,
+    submit_site: Optional[str] = None,
+    limit: Optional[float] = None,
+    tracer=None,
+    metrics=None,
+):
+    """Rebuild a deployment from a checkpoint directory and finish the app.
+
+    Returns ``(vdce, result)``: a fresh federation restored from the
+    ``repos/`` snapshots, and the :class:`ApplicationResult` of
+    re-executing only the incomplete frontier (completed tasks are
+    restored from the journal and their output edges re-staged from the
+    submitting site's server).  The journal keeps growing across
+    resumes, so a run that crashes again resumes from even later.
+    """
+    from repro.core.vdce import VDCE
+    from repro.metrics.registry import NULL_METRICS
+    from repro.trace.tracer import NULL_TRACER
+
+    with open(os.path.join(directory, _META_FILENAME), encoding="utf-8") as fh:
+        meta = json.load(fh)
+    checkpoint = ApplicationCheckpoint.load(journal_path(directory))
+    repos_dir = os.path.join(directory, _REPOS_DIRNAME)
+    repositories = (
+        VDCE.load_repositories(repos_dir) if os.path.isdir(repos_dir) else None
+    )
+    vdce = VDCE(
+        spec=_spec_from_meta(meta),
+        repositories=repositories,
+        tracer=tracer or NULL_TRACER,
+        metrics=metrics or NULL_METRICS,
+    )
+    journal = CheckpointJournal(journal_path(directory))
+    proc = vdce.runtime.execute_process(
+        checkpoint.afg,
+        checkpoint.table,
+        submit_site=submit_site or checkpoint.submit_site,
+        journal=journal,
+        checkpoint=checkpoint,
+    )
+    result = vdce.sim.run_until_complete(proc, limit=limit)
+    return vdce, result

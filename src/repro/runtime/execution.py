@@ -38,8 +38,16 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph, Edge
+from repro.afg.serialize import afg_to_dict
 from repro.afg.task import TaskNode
-from repro.net.rpc import RpcTimeout
+from repro.net.rpc import ManagerUnavailable, RpcTimeout
+from repro.runtime.checkpoint import (
+    ApplicationCheckpoint,
+    CheckpointJournal,
+    decode_value,
+    encode_value,
+    value_hash,
+)
 from repro.runtime.stats import RuntimeStats
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.sim.host import HostDownError, Interrupted
@@ -191,6 +199,8 @@ class ExecutionCoordinator:
         table: AllocationTable,
         execute_payloads: bool = True,
         submit_site: Optional[str] = None,
+        journal: Optional[CheckpointJournal] = None,
+        checkpoint: Optional[ApplicationCheckpoint] = None,
     ):
         table.validate_against(afg)
         self.runtime = runtime
@@ -220,6 +230,19 @@ class ExecutionCoordinator:
         self._unreachable_sites: set = set()
         #: task -> reasons for pre-execution moves off unreachable sites
         self._pre_execution_moves: Dict[str, List[str]] = {}
+        #: durable checkpoint journal (None => checkpointing disabled)
+        self.journal = journal
+        #: task id -> ``task_complete`` record restored from a checkpoint
+        self._restored: Dict[str, Dict[str, Any]] = {}
+        #: True when continuing from a checkpoint (even a pre-frontier one)
+        self._resuming = checkpoint is not None
+        if checkpoint is not None:
+            if checkpoint.application != afg.name:
+                raise ValueError(
+                    f"checkpoint is for {checkpoint.application!r}, "
+                    f"not {afg.name!r}"
+                )
+            self._restored = dict(checkpoint.completed)
 
     # -- public API --------------------------------------------------------
 
@@ -232,6 +255,30 @@ class ExecutionCoordinator:
     def _run(self):
         submitted_at = self.sim.now
         source = f"app:{self.afg.name}"
+
+        # Phase 0: journal the schedule (fresh run) or the resume.
+        if self._resuming:
+            self._restore_completed()
+            self._journal_append(
+                "resume",
+                submit_site=self.submit_site,
+                completed=sorted(self._restored),
+            )
+            self.stats.resumes += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.RESUME, source=source,
+                    submit_site=self.submit_site,
+                    completed=len(self._restored),
+                )
+        else:
+            self._journal_append(
+                "schedule",
+                scheduler=self.table.scheduler,
+                submit_site=self.submit_site,
+                afg=afg_to_dict(self.afg),
+                table=self.table.to_dict(),
+            )
 
         # Phase 1: distribute allocation-table portions.
         with self.tracer.span("allocation", source=source):
@@ -260,6 +307,7 @@ class ExecutionCoordinator:
                         name=f"task:{self.afg.name}:{task_id}",
                     )
                     for task_id in self.afg.topological_order()
+                    if task_id not in self._restored
                 ]
                 if procs:
                     yield AllOf(procs)
@@ -268,10 +316,14 @@ class ExecutionCoordinator:
                 controller.release(self.afg.name)
         finished_at = self.sim.now
 
-        # Phase 6: post-execution task-performance refinement.
-        for record in self.records.values():
+        # Phase 6: post-execution task-performance refinement.  Records
+        # restored from a checkpoint were refined before the crash; a
+        # crashed Site Manager cannot take updates.
+        for task_id, record in self.records.items():
+            if task_id in self._restored:
+                continue
             manager = self.runtime.site_managers[record.site]
-            if record.predicted_time > 0:
+            if record.predicted_time > 0 and manager.alive:
                 manager.record_completed_execution(
                     record.task_type,
                     record.hosts[0],
@@ -303,7 +355,13 @@ class ExecutionCoordinator:
         actually be talked to, or fails with a typed error.
         """
         local_server = self.runtime.topology.site(self.submit_site).server_host.name
-        pending = sorted({a.site for a in self.assignment.values()})
+        # only sites with frontier work need their portion (on a fresh
+        # run the frontier is every task)
+        pending = sorted({
+            a.site
+            for task_id, a in self.assignment.items()
+            if task_id not in self._restored
+        })
         for _round in range(len(self.runtime.site_managers) + 1):
             snapshot = self._live_table()
             local_signal = None
@@ -334,6 +392,48 @@ class ExecutionCoordinator:
             f"allocation distribution for {self.afg.name!r} could not settle "
             f"(unreachable sites: {sorted(self._unreachable_sites)})"
         )
+
+    # -- checkpointing ------------------------------------------------------
+
+    def _journal_append(self, kind: str, **fields: Any) -> None:
+        """One checkpoint record: journal append + stats/metrics/trace."""
+        if self.journal is None or not self.journal.enabled:
+            return
+        n = self.journal.append(
+            kind, time=self.sim.now, application=self.afg.name, **fields
+        )
+        self.stats.checkpoint_records += 1
+        self.stats.checkpoint_bytes += n
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "vdce_checkpoint_bytes",
+                "bytes appended to application checkpoint journals",
+            ).inc(n, application=self.afg.name)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.CHECKPOINT, source=f"app:{self.afg.name}",
+                record=kind, bytes=n,
+            )
+
+    def _restore_completed(self) -> None:
+        """Rebuild records (and terminal outputs) for checkpointed tasks."""
+        for task_id, rec in self._restored.items():
+            node = self.afg.task(task_id)
+            self.records[task_id] = TaskRecord(
+                task_id=task_id,
+                task_type=node.task_type,
+                site=rec["site"],
+                hosts=tuple(rec["hosts"]),
+                predicted_time=rec.get("predicted_time", 0.0),
+                started_at=rec.get("started_at", 0.0),
+                finished_at=rec.get("finished_at", 0.0),
+                measured_time=rec.get("measured_time", 0.0),
+                attempts=rec.get("attempts", 0),
+            )
+            if not self.afg.out_edges(task_id):
+                self.outputs[task_id] = [
+                    decode_value(o["value"]) for o in rec["outputs"]
+                ]
 
     def _live_table(self) -> AllocationTable:
         """The current assignment as a distributable table snapshot."""
@@ -411,6 +511,10 @@ class ExecutionCoordinator:
                 )
             self._reschedules += 1
             self.stats.reschedule_requests += 1
+            # a pre-execution move off an unreachable site is a
+            # failure-driven restart like any other (satellite of the
+            # total_control_messages composition fix)
+            self.stats.failure_restarts += 1
             if self.tracer.enabled:
                 self.tracer.emit(
                     EventKind.RESCHEDULE, source=f"app:{self.afg.name}",
@@ -425,11 +529,23 @@ class ExecutionCoordinator:
                 hosts=replacement.hosts,
                 predicted_time=replacement.predicted_time,
             )
+            self._journal_append(
+                "reschedule", task=task_id, reason=reason,
+                site=replacement.site, hosts=list(replacement.hosts),
+            )
             moved.add(replacement.site)
         return sorted(moved)
 
     def _setup_channels(self):
-        """Phase 2: one point-to-point channel per edge, setup + ack."""
+        """Phase 2: one point-to-point channel per edge, setup + ack.
+
+        On a resumed run, an edge whose producer already completed
+        re-stages the journalled output from the submitting site's
+        server instead — the consumer gets the recorded value without
+        the producer re-running.  A re-stage that exhausts the data
+        policy fails its setup process, so the resume fails typed
+        instead of hanging.
+        """
 
         def setup(edge: Edge):
             yield from self._establish_channel(edge)
@@ -437,10 +553,35 @@ class ExecutionCoordinator:
                 f"edge:{edge.src}->{edge.dst}"
             )
 
-        procs = [
-            self.sim.process(setup(edge), name=f"chan:{edge.src}->{edge.dst}")
-            for edge in self.afg.edges
-        ]
+        def restage(edge: Edge):
+            key = _edge_key(edge)
+            signal = self.sim.signal(f"edge:{edge.src}->{edge.dst}")
+            self._edge_ready[key] = signal
+            value = decode_value(
+                self._restored[edge.src]["outputs"][edge.src_port]["value"]
+            )
+            if edge.dst in self._restored:
+                # both endpoints already ran; satisfy the edge for free
+                signal.succeed(value)
+                return
+            src_server = self.runtime.topology.site(
+                self.submit_site
+            ).server_host.name
+            dst_host = self.assignment[edge.dst].primary_host
+            yield from self._transfer_with_retry(
+                src_server, dst_host, edge.size_mb,
+                label=f"restage:{edge.src}->{edge.dst}",
+                record=self.records[edge.src], reason="restage",
+            )
+            self._edge_value[key] = value
+            signal.succeed(value)
+
+        procs = []
+        for edge in self.afg.edges:
+            gen = restage(edge) if edge.src in self._restored else setup(edge)
+            procs.append(
+                self.sim.process(gen, name=f"chan:{edge.src}->{edge.dst}")
+            )
         if procs:
             yield AllOf(procs)
 
@@ -610,6 +751,27 @@ class ExecutionCoordinator:
             outputs = signature.run(inputs, node.properties.workload_scale)
         else:
             outputs = [None] * node.n_out_ports
+        final_assignment = self.assignment[task_id]
+        self._journal_append(
+            "task_complete",
+            task=task_id,
+            site=record.site,
+            hosts=list(record.hosts),
+            predicted_time=record.predicted_time,
+            started_at=record.started_at,
+            finished_at=record.finished_at,
+            measured_time=record.measured_time,
+            attempts=record.attempts,
+            outputs=[
+                {
+                    "port": port,
+                    "hash": value_hash(value),
+                    "value": encode_value(value),
+                    "location": final_assignment.primary_host,
+                }
+                for port, value in enumerate(outputs)
+            ],
+        )
         if not self.afg.out_edges(task_id):
             self.outputs[task_id] = outputs
 
@@ -685,6 +847,15 @@ class ExecutionCoordinator:
         memory_mb = props.memory_mb or signature.memory_mb(props.workload_scale)
 
         while True:
+            # The console can suspend an application between attempts
+            # too: a task rescheduling while suspended parks here and
+            # resumes exactly once when the console releases it.
+            yield from self.runtime.console.wait_if_suspended(self.afg.name)
+            # An application whose owning Site Manager crashed cannot
+            # reschedule or refine; fail typed so checkpoint-restart on
+            # a surviving site can take over.
+            if not self.runtime.site_managers[self.submit_site].alive:
+                raise ManagerUnavailable(self.submit_site)
             record.attempts += 1
             assignment = self.assignment[node.id]
             attempt_start = self.sim.now
@@ -736,13 +907,24 @@ class ExecutionCoordinator:
             return
 
     def _believed_down_hosts(self, assignment: TaskAssignment) -> List[str]:
-        """Assigned hosts the site repository currently marks down."""
+        """Assigned hosts believed down — repository or live manager view.
+
+        The site repository is the durable view, but it goes stale while
+        its Site Manager is crashed (reports are buffered), so the live
+        Group Manager belief fills the gap when that manager is up.
+        """
         repo = self.runtime.repositories[assignment.site]
-        return [
-            h
-            for h in assignment.hosts
-            if repo.resources.has_host(h) and not repo.resources.get(h).up
-        ]
+        manager = self.runtime.site_managers[assignment.site]
+        down: List[str] = []
+        for h in assignment.hosts:
+            if repo.resources.has_host(h) and not repo.resources.get(h).up:
+                down.append(h)
+                continue
+            group = manager.site.group_of(h).name
+            gm = manager.group_managers.get(group)
+            if gm is not None and gm.alive and not gm.believes_up(h):
+                down.append(h)
+        return down
 
     def _site_reachable(self, site_name: str) -> bool:
         """Can the submitting site currently talk to ``site_name``?"""
@@ -771,7 +953,7 @@ class ExecutionCoordinator:
         excluded = self._excluded_hosts.setdefault(node.id, set())
         excluded.update(self.assignment[node.id].hosts)
         record.reschedule_reasons.append(reason)
-        if "down" in reason.lower():
+        if "down" in reason.lower() or "unreachable" in reason.lower():
             self.stats.failure_restarts += 1
 
         # Ask sites in locality order: current site, submit site, neighbours
@@ -810,6 +992,10 @@ class ExecutionCoordinator:
         self.assignment[node.id] = new_assignment
         record.site = new_assignment.site
         record.hosts = new_assignment.hosts
+        self._journal_append(
+            "reschedule", task=node.id, reason=reason,
+            site=new_assignment.site, hosts=list(new_assignment.hosts),
+        )
 
         # Re-stage inputs onto the new primary host (link-outage safe).
         new_primary = new_assignment.primary_host

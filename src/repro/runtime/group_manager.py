@@ -88,10 +88,116 @@ class GroupManager:
         self._missed: Dict[str, int] = {h.name: 0 for h in group}
         self._echo_process: Optional[Process] = None
         self.false_positives = 0
+        #: False while the manager process is crashed (fault injection)
+        self.alive = True
+        #: host currently running the manager role after a failover
+        self.deputy_host: Optional[str] = None
+        #: completed deputy promotions for this group
+        self.failovers = 0
+        #: bumped on crash/promotion; stale echo loops notice and exit
+        self._generation = 0
+        self._failover_pending = False
 
     @property
     def name(self) -> str:
         return self.group.name
+
+    @property
+    def host_names(self):
+        """The hosts this manager owns (the no-orphaned-group check)."""
+        return frozenset(h.name for h in self.group)
+
+    # -- crash / failover (control-plane fault model) ----------------------
+
+    def crash(self) -> None:
+        """The manager process dies: echo and filtering stop cold.
+
+        The echo loop is not interrupted — it notices the generation
+        bump at its next tick and exits without acting, so no kernel
+        process dies unobserved.  Detection falls to the group's
+        Monitor daemons, which call :meth:`request_failover` when they
+        find the manager gone.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._generation += 1
+        self._failover_pending = False
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.MANAGER_CRASH, source=f"gm:{self.name}",
+                role="group_manager",
+            )
+
+    def recover(self) -> None:
+        """The original manager process comes back (no deputy needed)."""
+        if self.alive:
+            return
+        self._restart(deputy=None, kind=EventKind.MANAGER_RECOVER)
+
+    def request_failover(self, reporter_host) -> None:
+        """A Monitor daemon found the manager dead; elect a deputy.
+
+        Every live monitor in the group calls this at its next tick;
+        the first call wins and runs the election: the lowest-load live
+        host in the group (ties broken by name — deterministic) is
+        promoted deputy after one LAN latency.  The deputy rebuilds its
+        believed-up state from the site repository and the next echo
+        round.
+        """
+        if self.alive or self._failover_pending:
+            return
+        candidates = sorted(
+            (h.load_average(), h.name) for h in self.group if h.is_up()
+        )
+        if not candidates:
+            return  # nobody left to promote; retried at the next tick
+        self._failover_pending = True
+        deputy = candidates[0][1]
+        self.sim.call_after(
+            self.lan_latency_s,
+            lambda: self._restart(deputy=deputy, kind=EventKind.FAILOVER),
+        )
+
+    def _restart(self, deputy: Optional[str], kind: str) -> None:
+        if self.alive:
+            return  # a recovery raced the election; first one wins
+        self.alive = True
+        self._failover_pending = False
+        self.deputy_host = deputy
+        self._generation += 1
+        # Belief is rebuilt from the site repository (the durable best
+        # knowledge) and refined by the next echo round: a host that
+        # recovered while the manager was down answers its next echo
+        # and triggers the usual recovery notification.
+        repo = self.site_manager.repository
+        for host_name in self._believed_up:
+            if repo.resources.has_host(host_name):
+                self._believed_up[host_name] = repo.resources.get(host_name).up
+            else:
+                self._believed_up[host_name] = True
+            self._missed[host_name] = 0
+        self._last_forwarded.clear()
+        if kind == EventKind.FAILOVER:
+            self.failovers += 1
+            self.stats.failovers += 1
+            metrics = self.sim.metrics
+            if metrics.enabled:
+                metrics.counter(
+                    "vdce_failovers_total",
+                    "manager failovers completed (deputy promotions)",
+                ).inc(group=self.name)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                kind, source=f"gm:{self.name}", role="group_manager",
+                deputy=deputy,
+            )
+        if self._echo_process is not None:
+            # monitoring was running before the crash: resume the echo
+            # protocol under the new generation
+            self._echo_process = self.sim.process(
+                self._echo_loop(self._generation), name=f"echo:{self.name}"
+            )
 
     # -- workload path ----------------------------------------------------
 
@@ -101,6 +207,8 @@ class GroupManager:
         The first measurement for a host is always significant (the
         Site Manager has nothing yet).
         """
+        if not self.alive:
+            return  # a dead manager drops reports on the floor
         metrics = self.sim.metrics
         last = self._last_forwarded.get(measurement.host)
         if last is not None and abs(measurement.load - last) < self.change_threshold:
@@ -139,14 +247,16 @@ class GroupManager:
         if self._echo_process is not None and self._echo_process.alive:
             raise RuntimeError(f"echo process for group {self.name} already running")
         self._echo_process = self.sim.process(
-            self._echo_loop(), name=f"echo:{self.name}"
+            self._echo_loop(self._generation), name=f"echo:{self.name}"
         )
         return self._echo_process
 
-    def _echo_loop(self):
+    def _echo_loop(self, generation: int):
         rng = self.sim.rng(f"echo:{self.name}")
         while True:
             yield Timeout(self.echo_period_s)
+            if generation != self._generation:
+                return  # crashed (or failed over) since our last tick
             metrics = self.sim.metrics
             for host in self.group:
                 self.stats.echo_packets += 1

@@ -82,6 +82,13 @@ class MonitorDaemon:
     def _run(self):
         while True:
             if self.host.is_up():
+                if not self.group_manager.alive:
+                    # the manager stopped answering: this monitor's next
+                    # report would vanish anyway, so instead it votes to
+                    # promote a deputy (first caller wins the election)
+                    self.group_manager.request_failover(self.host)
+                    yield Timeout(self.period_s)
+                    continue
                 measurement = self.measure()
                 self.stats.monitor_reports += 1
                 metrics = self.sim.metrics

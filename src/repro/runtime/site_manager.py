@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.afg.graph import ApplicationFlowGraph
+from repro.net.rpc import ManagerUnavailable
 from repro.repository.store import SiteRepository
 from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
@@ -57,10 +58,53 @@ class SiteManager:
         self.app_controllers: Dict[str, "AppController"] = {}
         #: peers for inter-site coordination, filled by VDCERuntime
         self.peers: Dict[str, "SiteManager"] = {}
+        #: False while the VDCE Server process is crashed
+        self.alive = True
+        #: failure/recovery reports received while crashed, in order
+        self._pending_reports: List[tuple] = []
 
     @property
     def name(self) -> str:
         return self.site.name
+
+    # -- crash / re-register (control-plane fault model) --------------------
+
+    def crash(self) -> None:
+        """The VDCE Server process dies: no bids, no allocation, no DB.
+
+        The federation layer excludes a crashed site from scheduling
+        (its bid RPCs never get an answer and its
+        :meth:`~repro.runtime.vdce_runtime.VDCERuntime.federation_view`
+        entry is dropped) until :meth:`recover` re-registers it.
+        Group Manager reports arriving meanwhile are buffered and
+        replayed in order at recovery, so the repository never reflects
+        updates applied by a dead manager.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.MANAGER_CRASH, source=f"sm:{self.name}",
+                role="site_manager",
+            )
+
+    def recover(self) -> None:
+        """A replacement server re-registers and replays buffered reports."""
+        if self.alive:
+            return
+        self.alive = True
+        pending, self._pending_reports = self._pending_reports, []
+        for kind, host_name in pending:
+            if kind == "down":
+                self.repository.resources.mark_down(host_name, time=self.sim.now)
+            else:
+                self.repository.resources.mark_up(host_name, time=self.sim.now)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.MANAGER_RECOVER, source=f"sm:{self.name}",
+                role="site_manager", replayed_reports=len(pending),
+            )
 
     # -- wiring ------------------------------------------------------------
 
@@ -91,9 +135,15 @@ class SiteManager:
 
     def receive_failure(self, host_name: str) -> None:
         """Mark the host "down" at the site's resource-performance DB."""
+        if not self.alive:
+            self._pending_reports.append(("down", host_name))
+            return
         self.repository.resources.mark_down(host_name, time=self.sim.now)
 
     def receive_recovery(self, host_name: str) -> None:
+        if not self.alive:
+            self._pending_reports.append(("up", host_name))
+            return
         self.repository.resources.mark_up(host_name, time=self.sim.now)
 
     # -- allocation distribution (Fig. 4 flow 4) ----------------------------------
@@ -113,6 +163,8 @@ class SiteManager:
         Returns a signal that fires when every involved Application
         Controller has received its execution request.
         """
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
         my_tasks = table.tasks_on_site(self.name)
         hosts_involved: List[str] = sorted(
             {h for t in my_tasks for h in table.hosts_of(t)}
@@ -195,6 +247,8 @@ class SiteManager:
         Called by a peer Site Manager; the caller charges WAN latency
         and counts the messages.
         """
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
         return select_hosts(
             afg, self.repository, model,
             tracer=self.tracer, metrics=self.sim.metrics,
@@ -214,6 +268,8 @@ class SiteManager:
         Used by the Application Controller's rescheduling path; returns
         None when this site has no feasible alternative.
         """
+        if not self.alive:
+            return None  # a crashed site never bids
         single = ApplicationFlowGraph(f"resched:{task_id}")
         node = afg.task(task_id)
         single.add_task(node)

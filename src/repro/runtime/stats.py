@@ -59,6 +59,14 @@ class RuntimeStats:
     channel_reestablishes: int = 0
     #: task-performance DB refinements recorded after completion
     taskperf_updates: int = 0
+    #: manager failovers completed (Group Manager deputy promotions)
+    failovers: int = 0
+    #: records appended to application checkpoint journals
+    checkpoint_records: int = 0
+    #: bytes appended to application checkpoint journals
+    checkpoint_bytes: float = 0.0
+    #: applications resumed from a checkpoint journal
+    resumes: int = 0
     #: (virtual time, host, event) failure-detection log for E6
     detection_log: List[Tuple[float, str, str]] = field(default_factory=list)
 
@@ -66,7 +74,15 @@ class RuntimeStats:
         self.detection_log.append((time, host, event))
 
     def total_control_messages(self) -> int:
-        """Everything except payload data transfers."""
+        """Everything except payload data transfers.
+
+        Both sides of the failure path are summed: the rescheduling
+        *request* (Application Controller -> Site Manager) and the
+        restart message the replacement host receives.  Historically
+        only ``reschedule_requests`` was counted, understating control
+        traffic in faulty runs; the composition is pinned by a
+        regression test.
+        """
         return (
             self.monitor_reports
             + self.workload_forwards
@@ -79,6 +95,7 @@ class RuntimeStats:
             + self.channel_acks
             + self.startup_signals
             + self.reschedule_requests
+            + self.failure_restarts
             + self.scheduler_messages
         )
 
@@ -123,5 +140,9 @@ class RuntimeStats:
             "transfer_retries": self.transfer_retries,
             "channel_reestablishes": self.channel_reestablishes,
             "taskperf_updates": self.taskperf_updates,
+            "failovers": self.failovers,
+            "checkpoint_records": self.checkpoint_records,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "resumes": self.resumes,
             "total_control_messages": self.total_control_messages(),
         }

@@ -231,9 +231,23 @@ class VDCERuntime:
         return self.topology.neighbor_sites(site_name)
 
     def federation_view(self, local_site: Optional[str] = None) -> FederationView:
-        return FederationView.from_topology(
+        """The local site's view of the federation.
+
+        Sites whose Site Manager is crashed are excluded: a dead VDCE
+        Server answers no bids and takes no allocations, so it must not
+        attract placements until it re-registers.
+        """
+        view = FederationView.from_topology(
             self.topology, self.repositories, local_site or self.default_site
         )
+        dead = {
+            name for name, sm in self.site_managers.items() if not sm.alive
+        }
+        if dead:
+            view = view.restricted(
+                {s for s in self.topology.site_names if s not in dead}
+            )
+        return view
 
     # -- distributed scheduling (messages + pure placement) -----------------------
 
@@ -350,8 +364,16 @@ class VDCERuntime:
         table: AllocationTable,
         submit_site: Optional[str] = None,
         execute_payloads: Optional[bool] = None,
+        journal=None,
+        checkpoint=None,
     ):
-        """Spawn the execution coordinator; process value = ApplicationResult."""
+        """Spawn the execution coordinator; process value = ApplicationResult.
+
+        ``journal`` (a :class:`~repro.runtime.checkpoint.CheckpointJournal`)
+        turns on durable checkpointing; ``checkpoint`` (a parsed
+        :class:`~repro.runtime.checkpoint.ApplicationCheckpoint`) makes
+        this a resume that re-executes only the incomplete frontier.
+        """
         coordinator = ExecutionCoordinator(
             self,
             afg,
@@ -362,6 +384,8 @@ class VDCERuntime:
                 else execute_payloads
             ),
             submit_site=submit_site or self.default_site,
+            journal=journal,
+            checkpoint=checkpoint,
         )
         return coordinator.start()
 

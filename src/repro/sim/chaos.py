@@ -21,6 +21,14 @@ I4 — *reconciliation*: the injection log (ground truth) and the
      detection log (what the Group Managers reported) agree — every
      false positive is accounted for, and every sufficiently long real
      outage is detected within the echo-protocol's detection window.
+I5 — *resume equivalence*: every completed application's terminal
+     output hashes equal the pure-evaluation oracle
+     (:func:`~repro.runtime.checkpoint.expected_output_hashes`) — in
+     particular an application checkpoint-restarted after its Site
+     Manager crashed produces byte-identical outputs.
+I6 — *no orphaned group*: at campaign end every Site Manager is
+     re-registered, every Group Manager is live (original or deputy),
+     and every host is owned by exactly one live Group Manager.
 
 Everything is deterministic: victims are drawn from the named stream
 ``chaos:plan``, fault processes from their per-target streams, and the
@@ -73,6 +81,14 @@ class ChaosConfig:
     # scripted whole-site outage (last site); None disables
     site_outage_at_s: Optional[float] = None
     site_outage_duration_s: float = 30.0
+    # scripted Group Manager crash (victim drawn from chaos:plan);
+    # permanent — the group's monitors must elect a deputy.  None disables
+    gm_crash_at_s: Optional[float] = None
+    # scripted Site Manager crash; the server re-registers after
+    # sm_crash_duration_s, and in-flight applications it owned must
+    # checkpoint-restart on a surviving site.  None disables
+    sm_crash_at_s: Optional[float] = None
+    sm_crash_duration_s: float = 45.0
     # control-message quality (WAN message loss; echo loss is LAN-side)
     message_loss_prob: float = 0.05
     echo_loss_prob: float = 0.05
@@ -111,6 +127,9 @@ def smoke_config(seed: int = 0) -> ChaosConfig:
         link_mttr_s=15.0,
         partition_at_s=40.0,
         partition_duration_s=30.0,
+        gm_crash_at_s=70.0,
+        sm_crash_at_s=100.0,
+        sm_crash_duration_s=45.0,
         message_loss_prob=0.05,
         echo_loss_prob=0.05,
     )
@@ -182,13 +201,22 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
     # import time (the facade imports back down into repro.sim)
     from repro.core.vdce import VDCE
     from repro.metrics.registry import MetricsRegistry
+    from repro.runtime.checkpoint import (
+        ApplicationCheckpoint,
+        CheckpointJournal,
+        expected_output_hashes,
+        final_output_hashes,
+    )
     from repro.runtime.execution import ExecutionCoordinator, ExecutionError
     from repro.runtime.vdce_runtime import RuntimeConfig
-    from repro.net.rpc import RpcTimeout
+    from repro.net.rpc import ManagerUnavailable, RpcTimeout
     from repro.scheduler.site_scheduler import SchedulingError, SiteScheduler
     from repro.trace.tracer import Tracer
 
-    typed_errors = (ExecutionError, SchedulingError, RpcTimeout, HostDownError)
+    typed_errors = (
+        ExecutionError, SchedulingError, RpcTimeout, ManagerUnavailable,
+        HostDownError,
+    )
 
     vdce = VDCE.standard(
         n_sites=config.n_sites,
@@ -243,27 +271,70 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             start=config.site_outage_at_s,
             duration=config.site_outage_duration_s,
         )
+    if config.gm_crash_at_s is not None:
+        gm_names = sorted(runtime.group_managers)
+        victim = gm_names[int(plan_rng.choice(len(gm_names)))]
+        injector.schedule_group_manager_crash(
+            runtime.group_managers[victim], config.gm_crash_at_s
+        )
+    if config.sm_crash_at_s is not None:
+        victim = sites[int(plan_rng.choice(len(sites)))]
+        injector.schedule_site_manager_crash(
+            runtime.site_managers[victim], config.sm_crash_at_s,
+            duration=config.sm_crash_duration_s,
+        )
 
     # -- submit the application stream -------------------------------------
     outcomes: Dict[str, Dict[str, Any]] = {}
     coordinators: List[ExecutionCoordinator] = []
+    #: app name -> (afg, ApplicationResult) of the completed run (for I5)
+    completed_runs: Dict[str, Tuple[Any, Any]] = {}
 
     def run_app(afg, submit_site: str, delay: float):
         yield Timeout(delay)
         submitted = sim.now
+        # every app journals to an in-memory journal: same record stream
+        # and byte accounting as a durable one, no filesystem
+        journal = CheckpointJournal(None)
+        restarted = False
         try:
-            table, _sched = yield from runtime.schedule_process(
-                afg, SiteScheduler(k=config.k, model=runtime.model),
-                local_site=submit_site,
-            )
-            coordinator = ExecutionCoordinator(
-                runtime, afg, table, submit_site=submit_site
-            )
-            coordinators.append(coordinator)
-            result = yield coordinator.start()
+            try:
+                table, _sched = yield from runtime.schedule_process(
+                    afg, SiteScheduler(k=config.k, model=runtime.model),
+                    local_site=submit_site,
+                )
+                coordinator = ExecutionCoordinator(
+                    runtime, afg, table, submit_site=submit_site,
+                    journal=journal,
+                )
+                coordinators.append(coordinator)
+                result = yield coordinator.start()
+            except ManagerUnavailable:
+                # the owning Site Manager crashed mid-flight: restart the
+                # application from its checkpoint on a surviving site;
+                # completed tasks are restored, only the frontier re-runs
+                survivors = [
+                    s for s in sites
+                    if runtime.site_managers[s].alive and s != submit_site
+                ]
+                if not survivors:
+                    raise
+                checkpoint = ApplicationCheckpoint.from_records(
+                    journal.records()
+                )
+                restarted = True
+                submit_site = survivors[0]
+                coordinator = ExecutionCoordinator(
+                    runtime, checkpoint.afg, checkpoint.table,
+                    submit_site=submit_site,
+                    journal=journal, checkpoint=checkpoint,
+                )
+                coordinators.append(coordinator)
+                result = yield coordinator.start()
             outcomes[afg.name] = {
                 "status": "completed",
                 "site": submit_site,
+                "restarted": restarted,
                 "submitted_at": round(submitted, 9),
                 "makespan_s": round(result.makespan, 9),
                 "reschedules": result.reschedules,
@@ -271,6 +342,7 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                 "channel_reestablishes": result.channel_reestablishes,
                 "sites_used": sorted({r.site for r in result.records.values()}),
             }
+            completed_runs[afg.name] = (coordinator.afg, result)
         except typed_errors as exc:
             outcomes[afg.name] = {
                 "status": "failed",
@@ -368,6 +440,45 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                     f"(lasting {end - down_at:.3f}s) was never detected "
                     f"within the {window:.0f}s window"
                 )
+
+    # I5: resume equivalence — every completed app (restarted or not)
+    # must reproduce the pure-evaluation oracle's terminal output hashes
+    for name in sorted(completed_runs):
+        app_afg, result = completed_runs[name]
+        expected = expected_output_hashes(app_afg, runtime.registry)
+        actual = final_output_hashes(result)
+        if actual != expected:
+            restarted = outcomes[name].get("restarted", False)
+            violations.append(
+                f"I5: application {name!r} "
+                f"({'restarted' if restarted else 'uninterrupted'}) produced "
+                f"output hashes {actual} != expected {expected}"
+            )
+
+    # I6: no orphaned group — every Site Manager re-registered, every
+    # Group Manager live (original or deputy), every host owned by
+    # exactly one live Group Manager
+    for name in sorted(runtime.site_managers):
+        if not runtime.site_managers[name].alive:
+            violations.append(
+                f"I6: site manager {name!r} still crashed at campaign end"
+            )
+    owners = {h: 0 for h in host_names}
+    for gm_name in sorted(runtime.group_managers):
+        gm = runtime.group_managers[gm_name]
+        if not gm.alive:
+            violations.append(
+                f"I6: group {gm_name!r} has no live manager at campaign end"
+            )
+            continue
+        for host in gm.host_names:
+            owners[host] = owners.get(host, 0) + 1
+    for host in sorted(owners):
+        if owners[host] != 1:
+            violations.append(
+                f"I6: host {host!r} is owned by {owners[host]} live group "
+                "managers (expected exactly 1)"
+            )
 
     return ChaosReport(
         config=config,

@@ -192,6 +192,56 @@ class FailureInjector:
         self.sim.call_at(start, begin)
         self.sim.call_at(start + duration, end)
 
+    # -- scripted manager crashes (control-plane faults) -----------------------
+
+    def schedule_group_manager_crash(
+        self, gm, time: float, duration: Optional[float] = None
+    ) -> None:
+        """Crash a Group Manager process at ``time``.
+
+        With ``duration`` the original manager recovers that much later;
+        without it the crash is permanent and the group's Monitor
+        daemons elect a deputy (``gm.request_failover``).  ``gm`` is
+        duck-typed (``alive`` / ``crash()`` / ``recover()``) so this
+        module keeps its no-runtime-imports layering.
+        """
+        self._schedule_manager(gm, f"gm:{gm.name}", time, duration)
+
+    def schedule_site_manager_crash(
+        self, sm, time: float, duration: Optional[float] = None
+    ) -> None:
+        """Crash a Site Manager (the VDCE Server process) at ``time``.
+
+        While crashed the site answers no bids, takes no allocations and
+        buffers monitoring reports; with ``duration`` a replacement
+        server re-registers that much later and replays them.
+        """
+        self._schedule_manager(sm, f"sm:{sm.name}", time, duration)
+
+    def _schedule_manager(
+        self, manager, label: str, time: float, duration: Optional[float]
+    ) -> None:
+        if time < self.sim.now:
+            raise ValueError("cannot schedule a manager crash in the past")
+        if duration is not None and duration <= 0:
+            raise ValueError("crash duration must be positive")
+
+        def crash() -> None:
+            if not manager.alive:
+                return  # already crashed: nothing changes, nothing logged
+            manager.crash()
+            self.log.append(FailureEvent(self.sim.now, label, "down"))
+
+        def recover() -> None:
+            if manager.alive:
+                return  # a failover beat the scripted recovery
+            manager.recover()
+            self.log.append(FailureEvent(self.sim.now, label, "up"))
+
+        self.sim.call_at(time, crash)
+        if duration is not None:
+            self.sim.call_at(time + duration, recover)
+
     # -- stochastic ------------------------------------------------------------
 
     def start_random(

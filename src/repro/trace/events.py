@@ -69,6 +69,13 @@ class EventKind:
     TRANSFER_RETRY = "transfer_retry"
     CHANNEL_REESTABLISH = "channel_reestablish"
 
+    # -- checkpointing & control-plane failover ----------------------------
+    CHECKPOINT = "checkpoint"
+    RESUME = "resume"
+    FAILOVER = "failover"
+    MANAGER_CRASH = "manager_crash"
+    MANAGER_RECOVER = "manager_recover"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

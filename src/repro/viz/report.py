@@ -48,6 +48,8 @@ def execution_report(result: ApplicationResult, width: int = 72) -> str:
         "data plane:",
         f"  transfers        {result.data_transfers}",
         f"  volume           {result.data_transferred_mb:.2f} MB",
+        f"  transfer retries {result.transfer_retries}",
+        f"  chan. reestabl.  {result.channel_reestablishes}",
         f"  reschedules      {result.reschedules}",
         f"  hosts used       {len(result.hosts_used())}",
         f"  parallel eff.    {parallel_efficiency(result):.2%}",

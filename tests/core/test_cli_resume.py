@@ -1,0 +1,65 @@
+"""Tests: the ``repro resume`` command end to end."""
+
+import json
+
+from repro import VDCE
+from repro.cli import main
+from repro.runtime.checkpoint import (
+    create_checkpoint_dir,
+    expected_output_hashes,
+)
+from repro.scheduler import SiteScheduler
+from repro.workloads import linear_pipeline
+
+
+def interrupted_run(tmp_path, seed=21, crash_at=6.0):
+    env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=seed)
+    afg = linear_pipeline(n_stages=4, cost=4.0, edge_mb=1.0)
+    expected = expected_output_hashes(afg, env.runtime.registry)
+    journal = create_checkpoint_dir(env, str(tmp_path))
+    table = SiteScheduler(k=1).schedule(afg, env.runtime.federation_view())
+    env.runtime.execute_process(afg, table, journal=journal)
+    env.sim.run(until=crash_at)
+    env.save_repositories(str(tmp_path / "repos"))
+    return expected
+
+
+class TestResumeCommand:
+    def test_resume_verifies_expected_hashes(self, tmp_path, capsys):
+        expected = interrupted_run(tmp_path)
+        expect_file = tmp_path / "expected_hashes.json"
+        expect_file.write_text(json.dumps(expected))
+        hashes_file = tmp_path / "hashes.json"
+
+        code = main([
+            "resume", str(tmp_path),
+            "--expect", str(expect_file),
+            "--hashes", str(hashes_file),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed and completed" in out
+        assert "resume equivalence verified" in out
+        assert json.loads(hashes_file.read_text()) == expected
+
+    def test_hash_mismatch_exits_nonzero_with_a_diff(self, tmp_path, capsys):
+        expected = interrupted_run(tmp_path)
+        wrong = dict(expected)
+        task = sorted(wrong)[0]
+        wrong[task] = "0" * 64
+        expect_file = tmp_path / "wrong.json"
+        expect_file.write_text(json.dumps(wrong))
+
+        code = main(["resume", str(tmp_path), "--expect", str(expect_file)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "resume equivalence FAILED" in out
+        assert task in out
+
+    def test_missing_checkpoint_directory_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        code = main(["resume", str(tmp_path / "nope")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cannot resume" in out

@@ -10,7 +10,8 @@ class TestSelftest:
         assert main(["selftest"]) == 0
         out = capsys.readouterr().out
         assert "all checks passed" in out
-        assert out.count("ok    ") == 5
+        assert out.count("ok    ") == 6
+        assert "checkpoint journal + resume equivalence" in out
         assert "FAIL" not in out
 
 

@@ -1,0 +1,63 @@
+"""Tests: console suspend interleaved with in-flight rescheduling.
+
+The Application Controller's recovery loop re-checks the console gate
+before every attempt, so a host failure during a suspension must not
+restart the task until the operator resumes — and then exactly once.
+"""
+
+from repro.afg import ApplicationFlowGraph, TaskNode, TaskProperties
+from repro.scheduler import SiteScheduler
+
+from tests.runtime.conftest import build_runtime
+
+
+def slow_chain():
+    afg = ApplicationFlowGraph("suspendy")
+    afg.add_task(TaskNode(id="src", task_type="generic.source",
+                          n_out_ports=1,
+                          properties=TaskProperties(workload_scale=0.5)))
+    afg.add_task(TaskNode(id="work", task_type="generic.compute",
+                          n_in_ports=1, n_out_ports=1,
+                          properties=TaskProperties(workload_scale=40.0)))
+    afg.connect("src", "work", size_mb=1.0)
+    return afg
+
+
+class TestSuspendDuringRecovery:
+    def test_host_failure_while_suspended_restarts_exactly_once(self):
+        rt = build_runtime(
+            site_hosts={"alpha": [("a1", 4.0, 256), ("a2", 1.0, 256)]}
+        )
+        afg = slow_chain()
+        table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+        victim = table.get("work").hosts[0]
+        assert victim == "a1"  # the fast host wins the initial selection
+
+        proc = rt.execute_process(afg, table)
+        rt.sim.call_at(2.0, lambda: rt.console.suspend(afg.name))
+        rt.sim.call_at(3.0, lambda: rt.topology.host(victim).fail())
+        rt.sim.call_at(8.0, lambda: rt.console.resume(afg.name))
+        result = rt.sim.run_until_complete(proc)
+
+        record = result.records["work"]
+        # the failed attempt plus exactly one restart on the replacement
+        assert record.attempts == 2
+        assert record.hosts == ("a2",)
+        assert len(record.reschedule_reasons) == 1
+        # the restart waited for the operator: nothing ran while suspended
+        assert record.finished_at > 8.0
+        assert rt.console.suspend_count == 1
+        assert not rt.console.is_suspended(afg.name)
+
+    def test_suspend_before_any_failure_just_delays(self):
+        rt = build_runtime(
+            site_hosts={"alpha": [("a1", 4.0, 256), ("a2", 1.0, 256)]}
+        )
+        afg = slow_chain()
+        table = SiteScheduler(k=0).schedule(afg, rt.federation_view())
+        proc = rt.execute_process(afg, table)
+        rt.sim.call_at(0.0, lambda: rt.console.suspend(afg.name))
+        rt.sim.call_at(5.0, lambda: rt.console.resume(afg.name))
+        result = rt.sim.run_until_complete(proc)
+        assert result.records["work"].attempts == 1
+        assert result.finished_at > 5.0

@@ -1,0 +1,66 @@
+"""Tests: the control-message total is the exact sum of its parts.
+
+Regression pin for a long-standing undercount: ``failure_restarts``
+(the restart message the replacement host receives) was missing from
+:meth:`RuntimeStats.total_control_messages`, so faulty runs reported
+less control traffic than they generated.
+"""
+
+from repro.runtime.stats import RuntimeStats
+
+# every counter that is a control-plane message, with a distinct prime
+# so a dropped or double-counted term changes the sum detectably
+_CONTROL_FIELDS = {
+    "monitor_reports": 2,
+    "workload_forwards": 3,
+    "echo_packets": 5,
+    "failure_notifications": 7,
+    "recovery_notifications": 11,
+    "allocation_messages": 13,
+    "execution_requests": 17,
+    "channel_setups": 19,
+    "channel_acks": 23,
+    "startup_signals": 29,
+    "reschedule_requests": 31,
+    "failure_restarts": 37,
+    "scheduler_messages": 41,
+}
+
+# counted elsewhere (payload data plane, diagnostics, checkpointing) —
+# must NOT contribute to the control-message total
+_NON_CONTROL_FIELDS = {
+    "workload_suppressed": 43,
+    "data_transfers": 47,
+    "rpc_retries": 53,
+    "rpc_timeouts": 59,
+    "transfer_retries": 61,
+    "channel_reestablishes": 67,
+    "taskperf_updates": 71,
+    "failovers": 73,
+    "checkpoint_records": 79,
+    "resumes": 83,
+}
+
+
+class TestTotalControlMessages:
+    def test_composition_is_exactly_the_control_fields(self):
+        stats = RuntimeStats(**_CONTROL_FIELDS, **_NON_CONTROL_FIELDS)
+        assert stats.total_control_messages() == sum(_CONTROL_FIELDS.values())
+
+    def test_failure_restarts_are_counted(self):
+        stats = RuntimeStats(failure_restarts=7)
+        assert stats.total_control_messages() == 7
+
+    def test_each_control_field_contributes_exactly_once(self):
+        for field_name in _CONTROL_FIELDS:
+            stats = RuntimeStats(**{field_name: 1})
+            assert stats.total_control_messages() == 1, field_name
+
+    def test_non_control_fields_contribute_nothing(self):
+        stats = RuntimeStats(**_NON_CONTROL_FIELDS)
+        assert stats.total_control_messages() == 0
+
+    def test_as_dict_mirrors_the_total(self):
+        stats = RuntimeStats(**_CONTROL_FIELDS)
+        assert stats.as_dict()["total_control_messages"] \
+            == stats.total_control_messages()
