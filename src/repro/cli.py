@@ -46,6 +46,7 @@ EXPERIMENTS = [
     ("E12", "End-to-end phase breakdown", "bench_end_to_end.py"),
     ("E13", "Load-accounting ablation", "bench_accounting_ablation.py"),
     ("E14", "Distributed shared memory (§5)", "bench_dsm.py"),
+    ("E15", "Straggler defense & speculation", "bench_speculation.py"),
 ]
 
 
@@ -120,7 +121,44 @@ def cmd_run(args) -> int:
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
-    if args.journal:
+    if args.max_concurrent is not None:
+        if args.journal:
+            print("error: --max-concurrent cannot be combined with --journal")
+            return 1
+        from repro.runtime.admission import AdmissionQueue
+        from repro.scheduler import SiteScheduler
+
+        queue = AdmissionQueue(env.runtime,
+                               max_concurrent=args.max_concurrent)
+        copies = [afg]
+        for i in range(1, max(1, args.repeat)):
+            copy, _ = _build_app(args.application, args.scale, args.seed)
+            copy.name = f"{copy.name}#{i}"
+            copies.append(copy)
+        signals = [
+            queue.submit(copy, "admin",
+                         scheduler=SiteScheduler(k=args.k,
+                                                 model=env.runtime.model),
+                         execute_payloads=payloads)
+            for copy in copies
+        ]
+
+        def drain():
+            results = []
+            for signal in signals:
+                results.append((yield signal))
+            return results
+
+        results = env.sim.run_until_complete(
+            env.sim.process(drain(), name="admission:batch"))
+        result = results[0]
+        stats = env.runtime.stats
+        print(f"admission: max_concurrent={args.max_concurrent}, "
+              f"{len(results)} application(s), "
+              f"total queue wait {stats.queue_wait_s:.3f}s")
+        for name in queue.admitted_order:
+            print(f"  {name}: waited {stats.queue_waits[name]:.3f}s")
+    elif args.journal:
         from repro.runtime.checkpoint import create_checkpoint_dir, journal_path
         from repro.scheduler import SiteScheduler
 
@@ -496,10 +534,17 @@ def cmd_chaos(args) -> int:
     """Run a chaos campaign; exit 1 on any invariant violation."""
     import json as _json
 
-    from repro.sim.chaos import ChaosConfig, run_campaign, smoke_config
+    from repro.sim.chaos import (
+        ChaosConfig, run_campaign, slowdown_smoke_config, smoke_config,
+    )
 
+    if args.smoke and args.slowdown_smoke:
+        print("error: --smoke and --slowdown-smoke are mutually exclusive")
+        return 1
     if args.smoke:
         config = smoke_config(seed=args.seed)
+    elif args.slowdown_smoke:
+        config = slowdown_smoke_config(seed=args.seed)
     else:
         config = ChaosConfig(
             seed=args.seed,
@@ -507,6 +552,12 @@ def cmd_chaos(args) -> int:
             hosts_per_site=args.hosts,
             n_apps=args.apps,
             duration_s=args.duration,
+            n_slow_hosts=args.slow_hosts,
+            slowdown_factor=args.slowdown_factor,
+            n_flapping_hosts=args.flap_hosts,
+            detector=args.detector,
+            speculation=args.speculation,
+            health=args.health,
         )
 
     report = run_campaign(config)
@@ -515,6 +566,11 @@ def cmd_chaos(args) -> int:
           f"{report.injection_events} fault events, "
           f"{report.detections} detections "
           f"({report.false_positives} false positives)")
+    if config.speculation:
+        print(f"  speculation: {report.speculative_launches} backups "
+              f"launched, {report.speculative_wins} won, "
+              f"{report.speculative_wasted_s:.2f}s wasted; "
+              f"quarantined: {report.quarantined_hosts or 'none'}")
     for name in sorted(report.outcomes):
         outcome = report.outcomes[name]
         line = f"  {name}: {outcome['status']}"
@@ -594,6 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", metavar="PATH",
                      help="record a metrics snapshot to PATH (canonical "
                           "JSON) and print its content hash")
+    run.add_argument("--max-concurrent", type=int, default=None,
+                     help="submit through the priority admission queue, "
+                          "at most N applications executing at once")
+    run.add_argument("--repeat", type=int, default=1,
+                     help="with --max-concurrent: submit N copies of the "
+                          "application to exercise queueing")
     run.add_argument("--journal", metavar="DIR",
                      help="checkpoint the application to DIR (meta.json + "
                           "repos/ + journal.jsonl); resume later with "
@@ -635,11 +697,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a randomized fault campaign and check its invariants")
     chaos.add_argument("--smoke", action="store_true",
                        help="the small, fast campaign CI runs")
+    chaos.add_argument("--slowdown-smoke", action="store_true",
+                       help="the straggler-defense campaign CI runs "
+                            "(slowdowns + flapping, speculation on)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument("--hosts", type=int, default=4)
     chaos.add_argument("--apps", type=int, default=4)
     chaos.add_argument("--duration", type=float, default=300.0)
+    chaos.add_argument("--slow-hosts", type=int, default=0,
+                       help="hosts hit by a scripted slowdown")
+    chaos.add_argument("--slowdown-factor", type=float, default=8.0)
+    chaos.add_argument("--flap-hosts", type=int, default=0,
+                       help="hosts flapping between normal and slow")
+    chaos.add_argument("--detector", choices=("count", "phi"),
+                       default="count",
+                       help="failure detector the Group Managers use")
+    chaos.add_argument("--speculation", action="store_true",
+                       help="enable speculative re-execution of stragglers")
+    chaos.add_argument("--health", action="store_true",
+                       help="enable host-health scoring and quarantine")
     chaos.add_argument("--check-determinism", action="store_true",
                        help="run the campaign twice and require "
                             "byte-identical trace/metrics/campaign hashes")

@@ -46,6 +46,13 @@ from repro.runtime.vdce_runtime import RuntimeConfig, VDCERuntime
 from repro.runtime.dsm import DSM, DSMError
 from repro.runtime.admission import AdmissionQueue
 from repro.runtime.data_manager import LocalDataManager, RealExecutionReport
+from repro.runtime.straggler import (
+    HealthPolicy,
+    HostHealth,
+    PhiAccrualDetector,
+    RatioTracker,
+    SpeculationPolicy,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -57,13 +64,18 @@ __all__ = [
     "ExecutionCoordinator",
     "ExecutionError",
     "GroupManager",
+    "HealthPolicy",
+    "HostHealth",
     "IOService",
     "LocalDataManager",
     "MonitorDaemon",
+    "PhiAccrualDetector",
+    "RatioTracker",
     "RealExecutionReport",
     "RuntimeConfig",
     "RuntimeStats",
     "SiteManager",
+    "SpeculationPolicy",
     "StagedFile",
     "TaskRecord",
     "VDCERuntime",

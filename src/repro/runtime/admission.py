@@ -31,6 +31,8 @@ class _Pending:
     afg: ApplicationFlowGraph = field(compare=False)
     scheduler: Optional[SiteScheduler] = field(compare=False)
     done: Signal = field(compare=False)
+    submitted_at: float = field(compare=False, default=0.0)
+    execute_payloads: Optional[bool] = field(compare=False, default=None)
 
 
 class AdmissionQueue:
@@ -54,6 +56,7 @@ class AdmissionQueue:
         afg: ApplicationFlowGraph,
         user: str,
         scheduler: Optional[SiteScheduler] = None,
+        execute_payloads: Optional[bool] = None,
     ) -> Signal:
         """Enqueue an application under ``user``'s priority.
 
@@ -69,6 +72,8 @@ class AdmissionQueue:
             afg=afg,
             scheduler=scheduler,
             done=done,
+            submitted_at=self.sim.now,
+            execute_payloads=execute_payloads,
         )
         heapq.heappush(self._heap, entry)
         self.sim.call_at(self.sim.now, self._dispatch)
@@ -87,6 +92,10 @@ class AdmissionQueue:
             entry = heapq.heappop(self._heap)
             self._running += 1
             self.admitted_order.append(entry.afg.name)
+            wait = self.sim.now - entry.submitted_at
+            stats = self.runtime.stats
+            stats.queue_wait_s += wait
+            stats.queue_waits[entry.afg.name] = wait
             self.sim.process(self._run_entry(entry),
                              name=f"admitted:{entry.afg.name}")
 
@@ -96,7 +105,8 @@ class AdmissionQueue:
                 entry.afg, entry.scheduler, local_site=self.site
             )
             result = yield self.runtime.execute_process(
-                entry.afg, table, submit_site=self.site
+                entry.afg, table, submit_site=self.site,
+                execute_payloads=entry.execute_payloads,
             )
         except Exception as exc:  # noqa: BLE001 - surfaced via the signal
             self._running -= 1

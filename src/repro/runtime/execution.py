@@ -230,6 +230,12 @@ class ExecutionCoordinator:
         self._unreachable_sites: set = set()
         #: task -> reasons for pre-execution moves off unreachable sites
         self._pre_execution_moves: Dict[str, List[str]] = {}
+        #: speculative re-execution policy (None => disabled)
+        self.speculation = runtime.config.speculation
+        #: audit log of every backup launch, for the chaos I8 invariant
+        self.speculation_log: List[Dict[str, Any]] = []
+        #: tasks whose race was won by the backup copy (hash cross-check)
+        self._speculative_wins: set = set()
         #: durable checkpoint journal (None => checkpointing disabled)
         self.journal = journal
         #: task id -> ``task_complete`` record restored from a checkpoint
@@ -749,6 +755,8 @@ class ExecutionCoordinator:
         if self.execute_payloads:
             signature = self.runtime.registry.get(node.task_type)
             outputs = signature.run(inputs, node.properties.workload_scale)
+            if task_id in self._speculative_wins:
+                self._verify_speculative_outputs(node, inputs, outputs)
         else:
             outputs = [None] * node.n_out_ports
         final_assignment = self.assignment[task_id]
@@ -888,8 +896,17 @@ class ExecutionCoordinator:
                 continue
 
             try:
-                for execution in executions:
-                    yield execution.done
+                if (
+                    self.speculation is not None
+                    and len(executions) == 1
+                    and assignment.predicted_time > 0
+                ):
+                    yield from self._race_with_backup(
+                        node, record, executions[0], span_work, memory_mb
+                    )
+                else:
+                    for execution in executions:
+                        yield execution.done
             except (HostDownError, Interrupted) as exc:
                 # kill surviving siblings before rescheduling
                 for execution in executions:
@@ -899,12 +916,267 @@ class ExecutionCoordinator:
                 continue
 
             record.measured_time = self.sim.now - attempt_start
+            tracker = self.runtime.ratio_tracker
+            final = self.assignment[node.id]
+            if tracker is not None and final.predicted_time > 0:
+                tracker.record(
+                    final.primary_host,
+                    record.measured_time / final.predicted_time,
+                )
             if self.sim.metrics.enabled:
                 self.sim.metrics.histogram(
                     "vdce_task_runtime_seconds",
                     "measured wall time of the successful task attempt",
                 ).observe(record.measured_time, site=record.site)
             return
+
+    # -- speculative re-execution (straggler defense) -------------------------
+
+    def _race_with_backup(self, node: TaskNode, record: TaskRecord,
+                          primary, span_work: float, memory_mb: int):
+        """Race the primary slice against at most one speculative backup.
+
+        A timer process watches the primary's progress; once it exceeds
+        the policy's multiple of the (per-host ratio-adjusted) estimate,
+        one backup copy is launched on the next-best host.  First
+        completion wins the shared ``outcome`` signal, the loser is
+        cancelled, and a backup win repoints the live assignment so
+        downstream transfers originate from the winner.  A copy that
+        fails while its sibling still races is simply ignored; when the
+        last live copy fails, the failure propagates to the normal
+        rescheduling path.
+        """
+        source = f"app:{self.afg.name}"
+        outcome = self.sim.signal(
+            f"spec:{self.afg.name}:{node.id}:{record.attempts}"
+        )
+        copies = [primary]
+        entry_box: List[Optional[Dict[str, Any]]] = [None]
+        bid_box: List[Any] = [None]
+
+        def watcher(which: str, execution):
+            try:
+                yield execution.done
+            except (HostDownError, Interrupted) as exc:
+                if outcome.triggered:
+                    return
+                if any(
+                    not e.done.triggered for e in copies if e is not execution
+                ):
+                    return  # a sibling copy is still racing
+                outcome.fail(exc)
+                return
+            if not outcome.triggered:
+                outcome.succeed((which, execution))
+
+        self.sim.process(
+            watcher("primary", primary),
+            name=f"specwatch:{self.afg.name}:{node.id}:primary",
+        )
+        self.sim.process(
+            self._speculation_timer(
+                node, record, primary, copies, outcome,
+                span_work, memory_mb, watcher, entry_box, bid_box,
+            ),
+            name=f"spectimer:{self.afg.name}:{node.id}",
+        )
+
+        try:
+            which, winner = yield outcome
+        except BaseException:
+            entry = entry_box[0]
+            if entry is not None and entry["resolved_at"] is None:
+                entry["resolved_at"] = self.sim.now
+                entry["outcome"] = "failed"
+            raise
+
+        # first completion wins: cancel the losing copy (if any)
+        for execution in copies:
+            if execution is winner or execution.done.triggered:
+                continue
+            wasted = execution.elapsed
+            execution.host.cancel(execution, cause="lost speculation race")
+            self.stats.speculative_wasted_s += wasted
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter(
+                    "vdce_speculative_wasted_s",
+                    "virtual seconds discarded with cancelled race losers",
+                ).inc(wasted, host=execution.host.name)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.SPECULATE_CANCEL, source=source,
+                    task=node.id, host=execution.host.name, wasted_s=wasted,
+                )
+        entry = entry_box[0]
+        if entry is not None:
+            entry["resolved_at"] = self.sim.now
+            entry["outcome"] = "backup_win" if which == "backup" else "primary_win"
+        if which == "backup":
+            bid = bid_box[0]
+            self.assignment[node.id] = TaskAssignment(
+                task_id=node.id,
+                site=bid.site,
+                hosts=bid.hosts,
+                predicted_time=bid.predicted_time,
+            )
+            record.site = bid.site
+            record.hosts = bid.hosts
+            self.stats.speculative_wins += 1
+            self._speculative_wins.add(node.id)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.SPECULATE_WIN, source=source,
+                    task=node.id, host=winner.host.name,
+                    elapsed_s=winner.elapsed,
+                )
+
+    def _speculation_timer(self, node: TaskNode, record: TaskRecord, primary,
+                           copies, outcome, span_work: float, memory_mb: int,
+                           watcher, entry_box, bid_box):
+        """Launch one backup copy once the primary is overdue.
+
+        The trigger threshold is ``predicted × trigger_multiple``
+        stretched by the primary host's historical measured/predicted
+        ratio quantile, so systematically optimistic predictions don't
+        cause endless false speculations.  Inputs are re-staged onto the
+        backup host with real (retrying) transfers before its slice
+        starts; every yield re-checks the race so a backup is never
+        launched for a task that already completed (chaos invariant I8).
+        """
+        policy = self.speculation
+        predicted = self.assignment[node.id].predicted_time
+        if predicted <= 0:
+            return
+        ratio = None
+        tracker = self.runtime.ratio_tracker
+        if tracker is not None:
+            ratio = tracker.quantile(primary.host.name, policy.ratio_quantile)
+        threshold = predicted * policy.trigger_multiple * max(
+            1.0, ratio if ratio is not None else 1.0
+        )
+        threshold = max(threshold, policy.min_runtime_s)
+        started = self.sim.now
+        while True:
+            remaining = threshold - (self.sim.now - started)
+            # the epsilon matters: a sub-ulp residue would produce a
+            # Timeout too small to advance the clock, spinning forever
+            if remaining <= 1e-9:
+                break
+            yield Timeout(min(policy.check_period_s, remaining))
+            if outcome.triggered or primary.done.triggered:
+                return
+
+        # Primary is overdue: pick the next-best host elsewhere.
+        excluded = set(self._excluded_hosts.get(node.id, set()))
+        excluded.update(self.assignment[node.id].hosts)
+        current = self.assignment[node.id].site
+        order = [current, self.submit_site] + list(
+            self.runtime.neighbor_order(self.submit_site)
+        )
+        seen = set()
+        bid = None
+        for site_name in order:
+            if site_name in seen:
+                continue
+            seen.add(site_name)
+            if not self._site_reachable(site_name):
+                continue
+            candidate = self.runtime.site_managers[site_name].reselect_host(
+                self.afg, node.id, frozenset(excluded), self.runtime.model
+            )
+            if candidate is not None:
+                bid = candidate
+                break
+        if bid is None:
+            return  # nowhere to speculate; keep waiting on the primary
+        backup_host = bid.primary_host
+
+        # Feed the backup: re-stage dataflow inputs and file inputs.
+        for edge in sorted(self.afg.in_edges(node.id), key=lambda e: e.dst_port):
+            src_host = self.assignment[edge.src].primary_host
+            try:
+                yield from self._transfer_with_retry(
+                    src_host, backup_host, edge.size_mb,
+                    label=f"spec:{edge.src}->{edge.dst}", record=record,
+                    reason="speculate",
+                )
+            except ExecutionError:
+                return  # could not feed the backup; speculation aborted
+            if outcome.triggered or primary.done.triggered:
+                return
+        src_server = self.runtime.topology.site(self.submit_site).server_host.name
+        for binding in node.properties.file_inputs():
+            try:
+                yield from self._stage_with_retry(
+                    binding.file, src_server, backup_host, record
+                )
+            except ExecutionError:
+                return
+            if outcome.triggered or primary.done.triggered:
+                return
+
+        controller = self.runtime.app_controllers[backup_host]
+        try:
+            backup = controller.start_slice(
+                span_work, memory_mb, label=f"{self.afg.name}:{node.id}:spec"
+            )
+        except HostDownError:
+            return
+        copies.append(backup)
+        bid_box[0] = bid
+        entry = {
+            "application": self.afg.name,
+            "task": node.id,
+            "attempt": record.attempts,
+            "launched_at": self.sim.now,
+            "primary_host": primary.host.name,
+            "backup_host": backup_host,
+            "resolved_at": None,
+            "outcome": None,
+        }
+        entry_box[0] = entry
+        self.speculation_log.append(entry)
+        self.stats.speculative_launches += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "vdce_speculative_launches_total",
+                "speculative backup task copies launched",
+            ).inc(host=backup_host)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.SPECULATE, source=f"app:{self.afg.name}",
+                task=node.id, primary_host=primary.host.name,
+                backup_host=backup_host, threshold_s=threshold,
+            )
+        if self.runtime.health is not None:
+            self.runtime.health.penalize(
+                primary.host.name,
+                self.runtime.health.policy.straggle_penalty,
+                "straggle",
+            )
+        controller.watch(backup, node.id, lambda *args: None)
+        self.sim.process(
+            watcher("backup", backup),
+            name=f"specwatch:{self.afg.name}:{node.id}:backup",
+        )
+
+    def _verify_speculative_outputs(self, node: TaskNode, inputs, outputs) -> None:
+        """Cross-check a speculative winner against pure evaluation.
+
+        Task implementations are pure, so whichever copy won, the
+        outputs must hash identically to a fresh evaluation of the
+        task's signature on the same inputs — a free Byzantine /
+        corruption check (the same oracle checkpoint resume uses).
+        """
+        signature = self.runtime.registry.get(node.task_type)
+        expected = signature.run(inputs, node.properties.workload_scale)
+        got = [value_hash(v) for v in outputs]
+        want = [value_hash(v) for v in expected]
+        if got != want:
+            raise ExecutionError(
+                f"speculative output mismatch for task {node.id!r}: "
+                f"{got} != {want}"
+            )
 
     def _believed_down_hosts(self, assignment: TaskAssignment) -> List[str]:
         """Assigned hosts believed down — repository or live manager view.

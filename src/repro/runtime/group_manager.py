@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
+from repro.runtime.straggler import HostHealth, PhiAccrualDetector
 from repro.sim.kernel import Process, Simulator, Timeout
 from repro.sim.site import Group
 from repro.trace.events import EventKind
@@ -49,12 +50,30 @@ class GroupManager:
         tracer: Tracer = NULL_TRACER,
         control=None,
         lan_link=None,
+        detector: str = "count",
+        phi_suspect: float = 1.0,
+        phi_down: float = 2.0,
+        echo_timeout_s: Optional[float] = None,
+        health: Optional[HostHealth] = None,
     ):
         """``echo_loss_prob`` models a lossy campus LAN: each echo round
         trip independently fails with this probability.  A host is only
         declared down after ``suspicion_threshold`` *consecutive* missed
         echoes — the standard guard against false positives (with the
         default of 1, behaviour is the paper's immediate declaration).
+
+        ``detector`` picks the failure-detection discipline: ``"count"``
+        is the consecutive-miss counter above; ``"phi"`` is a
+        phi-accrual detector (:class:`~repro.runtime.straggler.
+        PhiAccrualDetector`) over echo inter-arrival history, which
+        SUSPECTs at ``phi_suspect`` and only declares down at
+        ``phi_down`` — so a slowed host (whose echo round trip stretches
+        with its :attr:`~repro.sim.host.Host.slowdown`) stays trusted
+        instead of being treated as dead.  ``echo_timeout_s`` is the
+        count detector's per-round response deadline (default: the echo
+        period, i.e. any response within the round counts); the phi
+        detector has no deadline — late arrivals simply enter the
+        history.
 
         ``control`` (a :class:`~repro.net.rpc.ControlPlane`) and
         ``lan_link`` route failure/recovery reports through the retrying
@@ -68,6 +87,12 @@ class GroupManager:
             raise ValueError("echo_loss_prob must be in [0, 1)")
         if suspicion_threshold < 1:
             raise ValueError("suspicion_threshold must be >= 1")
+        if detector not in ("count", "phi"):
+            raise ValueError(f"detector must be 'count' or 'phi', got {detector!r}")
+        if not (0.0 < phi_suspect < phi_down):
+            raise ValueError("need 0 < phi_suspect < phi_down")
+        if echo_timeout_s is not None and echo_timeout_s <= 0:
+            raise ValueError("echo_timeout_s must be positive")
         self.sim = sim
         self.group = group
         self.site_manager = site_manager
@@ -80,12 +105,27 @@ class GroupManager:
         self.tracer = tracer
         self._control = control
         self._lan_link = lan_link
+        self.detector = detector
+        self.phi_suspect = float(phi_suspect)
+        self.phi_down = float(phi_down)
+        self.echo_timeout_s = (
+            float(echo_timeout_s) if echo_timeout_s is not None else None
+        )
+        self.health = health
         #: last workload value forwarded upward, per host
         self._last_forwarded: Dict[str, float] = {}
         #: what this Group Manager believes about host liveness
         self._believed_up: Dict[str, bool] = {h.name: True for h in group}
         #: consecutive missed echoes per host
         self._missed: Dict[str, int] = {h.name: 0 for h in group}
+        #: phi-accrual state, one detector per host (phi mode only)
+        self._detectors: Dict[str, PhiAccrualDetector] = (
+            {h.name: PhiAccrualDetector(self.echo_period_s) for h in group}
+            if detector == "phi"
+            else {}
+        )
+        #: hosts currently under suspicion (phi mode only)
+        self._suspected: Dict[str, bool] = {h.name: False for h in group}
         self._echo_process: Optional[Process] = None
         self.false_positives = 0
         #: False while the manager process is crashed (fault injection)
@@ -177,6 +217,9 @@ class GroupManager:
             else:
                 self._believed_up[host_name] = True
             self._missed[host_name] = 0
+            self._suspected[host_name] = False
+            if host_name in self._detectors:
+                self._detectors[host_name].reset()
         self._last_forwarded.clear()
         if kind == EventKind.FAILOVER:
             self.failovers += 1
@@ -271,6 +314,15 @@ class GroupManager:
                 if responded and self.echo_loss_prob > 0.0:
                     if float(rng.uniform()) < self.echo_loss_prob:
                         responded = False  # packet lost, host fine
+                if self.detector == "phi":
+                    self._phi_round(host, responded)
+                    continue
+                if responded and self.echo_timeout_s is not None:
+                    # count mode with a response deadline: a slowed
+                    # host's stretched round trip counts as a miss —
+                    # exactly the false positive the phi detector avoids
+                    if self._echo_rtt(host) > self.echo_timeout_s:
+                        responded = False
                 if self.tracer.enabled:
                     self.tracer.emit(
                         EventKind.ECHO, source=f"gm:{self.name}",
@@ -308,6 +360,103 @@ class GroupManager:
                     self._send_report(
                         lambda h=host.name: self.site_manager.receive_recovery(h)
                     )
+
+    def _echo_rtt(self, host) -> float:
+        """Echo round-trip time: two LAN hops, stretched by slowdown.
+
+        A degraded host still answers — late.  This is the observable
+        that distinguishes slow from dead, and what a too-tight
+        ``echo_timeout_s`` turns into a false positive.
+        """
+        return 2.0 * self.lan_latency_s * max(1.0, host.slowdown)
+
+    def _phi_round(self, host, responded: bool) -> None:
+        """One echo round under the phi-accrual discipline.
+
+        Suspicion ``phi`` is evaluated against the arrival history
+        *before* this round's arrival is recorded, then transitions:
+
+        * TRUST -> SUSPECT at ``phi >= phi_suspect``;
+        * SUSPECT -> declared down at ``phi >= phi_down`` (the usual
+          failure-notification path);
+        * SUSPECT -> TRUST when arrivals resume and phi falls back
+          below ``phi_suspect``;
+        * believed-down + any arrival -> recovery notification, with
+          the detector history reset.
+        """
+        now = self.sim.now
+        det = self._detectors[host.name]
+        phi = det.phi(now)
+        rtt = self._echo_rtt(host) if responded else None
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.ECHO, source=f"gm:{self.name}",
+                host=host.name, responded=responded, rtt_s=rtt, phi=phi,
+            )
+        if not self._believed_up[host.name]:
+            if responded:
+                det.reset()
+                det.heartbeat(now + rtt)
+                self._suspected[host.name] = False
+                self._believed_up[host.name] = True
+                self.stats.recovery_notifications += 1
+                self.stats.record_detection(now, host.name, "up")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.RECOVERY_NOTIFICATION,
+                        source=f"gm:{self.name}", host=host.name,
+                    )
+                self._send_report(
+                    lambda h=host.name: self.site_manager.receive_recovery(h)
+                )
+            return
+        if responded:
+            det.heartbeat(now + rtt)
+        if self._suspected[host.name]:
+            if phi >= self.phi_down:
+                self._suspected[host.name] = False
+                self._believed_up[host.name] = False
+                det.reset()
+                if host.is_up():
+                    self.false_positives += 1
+                self.stats.failure_notifications += 1
+                self.stats.record_detection(now, host.name, "down")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.FAILURE_NOTIFICATION,
+                        source=f"gm:{self.name}", host=host.name,
+                        false_positive=host.is_up(), phi=phi,
+                    )
+                self._send_report(
+                    lambda h=host.name: self.site_manager.receive_failure(h)
+                )
+                if self.health is not None:
+                    self.health.penalize(
+                        host.name, self.health.policy.failure_penalty,
+                        "declared_down",
+                    )
+            elif phi < self.phi_suspect:
+                self._suspected[host.name] = False
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.TRUST, source=f"gm:{self.name}",
+                        host=host.name, phi=phi,
+                    )
+        elif phi >= self.phi_suspect:
+            self._suspected[host.name] = True
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.SUSPECT, source=f"gm:{self.name}",
+                    host=host.name, phi=phi,
+                )
+            if self.health is not None:
+                self.health.penalize(
+                    host.name, self.health.policy.suspect_penalty, "suspect"
+                )
+
+    def is_suspected(self, host_name: str) -> bool:
+        """Is the host under (phi) suspicion — slow, but not declared dead?"""
+        return self._suspected[host_name]
 
     def _send_report(self, deliver) -> None:
         """Failure/recovery report to the Site Manager over the LAN.

@@ -116,9 +116,11 @@ class MonitorDaemon:
                         available_memory_mb=measurement.available_memory_mb,
                     )
                 # delivery after LAN latency; a monitor on a host that
-                # dies in flight still delivers (packet already sent)
+                # dies in flight still delivers (packet already sent).
+                # A degraded host's daemon is itself slowed, so its
+                # report leaves late by the same factor.
                 self.sim.call_after(
-                    self.lan_latency_s,
+                    self.lan_latency_s * max(1.0, self.host.slowdown),
                     lambda m=measurement: self.group_manager.receive_measurement(m),
                 )
             yield Timeout(self.period_s)

@@ -47,6 +47,7 @@ class SiteManager:
         stats: RuntimeStats,
         lan_latency_s: float = 0.0005,
         tracer: Tracer = NULL_TRACER,
+        health=None,
     ):
         self.sim = sim
         self.site = site
@@ -54,6 +55,9 @@ class SiteManager:
         self.stats = stats
         self.lan_latency_s = float(lan_latency_s)
         self.tracer = tracer
+        #: optional HostHealth: quarantine + prediction penalties folded
+        #: into every host selection this site performs
+        self.health = health
         self.group_managers: Dict[str, "GroupManager"] = {}
         self.app_controllers: Dict[str, "AppController"] = {}
         #: peers for inter-site coordination, filled by VDCERuntime
@@ -113,6 +117,11 @@ class SiteManager:
 
     def attach_app_controller(self, controller: "AppController") -> None:
         self.app_controllers[controller.host.name] = controller
+
+    @property
+    def _health_of(self):
+        """The ``health_of`` hook for host selection (None when off)."""
+        return self.health.factor_of if self.health is not None else None
 
     # -- monitoring inputs (Fig. 4 flows 2-3) -----------------------------------
 
@@ -252,6 +261,7 @@ class SiteManager:
         return select_hosts(
             afg, self.repository, model,
             tracer=self.tracer, metrics=self.sim.metrics,
+            health_of=self._health_of,
         )
 
     # -- rescheduling support --------------------------------------------------------
@@ -273,7 +283,8 @@ class SiteManager:
         single = ApplicationFlowGraph(f"resched:{task_id}")
         node = afg.task(task_id)
         single.add_task(node)
-        bids = select_hosts(single, self.repository, model)
+        bids = select_hosts(single, self.repository, model,
+                            health_of=self._health_of)
         bid = bids.get(task_id)
         if bid is None:
             return None
@@ -290,6 +301,14 @@ class SiteManager:
                 for r in candidate_hosts(node, self.repository)
                 if r.name not in exclude_hosts
             ]
+            factors = {}
+            if self.health is not None:
+                for r in list(records):
+                    factor = self.health.factor_of(r.name)
+                    if factor is None:
+                        records.remove(r)  # quarantined
+                    else:
+                        factors[r.name] = factor
             if len(records) < n_nodes:
                 return None
             memory_mb = props.memory_mb if props.memory_mb > 0 else None
@@ -302,7 +321,8 @@ class SiteManager:
                         r,
                         self.repository.task_perf,
                         memory_mb=memory_mb,
-                    ),
+                    )
+                    * factors.get(r.name, 1.0),
                     r.name,
                 )
                 for r in records

@@ -67,8 +67,18 @@ class RuntimeStats:
     checkpoint_bytes: float = 0.0
     #: applications resumed from a checkpoint journal
     resumes: int = 0
+    #: speculative backup task copies launched
+    speculative_launches: int = 0
+    #: speculation races won by the backup copy
+    speculative_wins: int = 0
+    #: virtual seconds of work discarded with cancelled race losers
+    speculative_wasted_s: float = 0.0
+    #: virtual seconds applications spent queued before admission
+    queue_wait_s: float = 0.0
     #: (virtual time, host, event) failure-detection log for E6
     detection_log: List[Tuple[float, str, str]] = field(default_factory=list)
+    #: per-application queue wait (admission control), excluded from as_dict
+    queue_waits: Dict[str, float] = field(default_factory=dict)
 
     def record_detection(self, time: float, host: str, event: str) -> None:
         self.detection_log.append((time, host, event))
@@ -144,5 +154,9 @@ class RuntimeStats:
             "checkpoint_records": self.checkpoint_records,
             "checkpoint_bytes": self.checkpoint_bytes,
             "resumes": self.resumes,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "speculative_wasted_s": self.speculative_wasted_s,
+            "queue_wait_s": self.queue_wait_s,
             "total_control_messages": self.total_control_messages(),
         }

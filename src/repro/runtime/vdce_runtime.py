@@ -35,6 +35,12 @@ from repro.runtime.monitor import MonitorDaemon
 from repro.runtime.services import ConsoleService, IOService
 from repro.runtime.site_manager import SiteManager
 from repro.runtime.stats import RuntimeStats
+from repro.runtime.straggler import (
+    HealthPolicy,
+    HostHealth,
+    RatioTracker,
+    SpeculationPolicy,
+)
 from repro.scheduler.allocation import AllocationTable
 from repro.scheduler.federation import FederationView
 from repro.scheduler.prediction import PredictionModel
@@ -83,6 +89,22 @@ class RuntimeConfig:
     #: how long the site scheduler waits for remote bids before
     #: proceeding with whichever of the k sites answered (Fig. 2 step 5)
     bid_deadline_s: float = 6.0
+    #: failure-detection discipline: "count" (consecutive missed echoes,
+    #: the paper's protocol) or "phi" (phi-accrual over inter-arrival
+    #: history — SUSPECT/TRUST transitions, slow != dead)
+    detector: str = "count"
+    #: phi at which a host becomes SUSPECTed (phi detector only)
+    phi_suspect: float = 1.0
+    #: phi at which a SUSPECTed host is declared down (phi detector only)
+    phi_down: float = 2.0
+    #: count detector's per-round echo response deadline; None means the
+    #: echo period itself (any response within the round counts)
+    echo_timeout_s: Optional[float] = None
+    #: speculative re-execution of straggling tasks (None = disabled:
+    #: fault-free runs draw zero extra RNG, traces unchanged)
+    speculation: Optional[SpeculationPolicy] = None
+    #: host health scoring + quarantine (None = disabled)
+    health: Optional[HealthPolicy] = None
 
     def __post_init__(self) -> None:
         if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
@@ -97,6 +119,14 @@ class RuntimeConfig:
             raise ValueError("load_threshold/check_period_s must be positive")
         if self.bid_deadline_s <= 0:
             raise ValueError("bid_deadline_s must be positive")
+        if self.detector not in ("count", "phi"):
+            raise ValueError(
+                f"detector must be 'count' or 'phi', got {self.detector!r}"
+            )
+        if not (0.0 < self.phi_suspect < self.phi_down):
+            raise ValueError("need 0 < phi_suspect < phi_down")
+        if self.echo_timeout_s is not None and self.echo_timeout_s <= 0:
+            raise ValueError("echo_timeout_s must be positive")
 
 
 class VDCERuntime:
@@ -131,6 +161,19 @@ class VDCERuntime:
             self.sim, topology.network, stats=self.stats,
             policy=config.rpc_policy, tracer=self.tracer,
         )
+        #: host health scoring (straggler defense); None when disabled
+        self.health: Optional[HostHealth] = (
+            HostHealth(self.sim, config.health, tracer=self.tracer)
+            if config.health is not None
+            else None
+        )
+        #: per-host measured/predicted ratio history for the adaptive
+        #: speculation trigger; None when speculation is disabled
+        self.ratio_tracker: Optional[RatioTracker] = (
+            RatioTracker(config.speculation.ratio_window)
+            if config.speculation is not None
+            else None
+        )
 
         if repositories is None:
             repositories = {
@@ -150,6 +193,7 @@ class VDCERuntime:
                 self.sim, site, self.repositories[site_name], self.stats,
                 lan_latency_s=lan_latency,
                 tracer=self.tracer,
+                health=self.health,
             )
             self.site_managers[site_name] = manager
             for group in site.groups.values():
@@ -163,6 +207,11 @@ class VDCERuntime:
                     tracer=self.tracer,
                     control=self.control,
                     lan_link=topology.network.lan_link(site_name),
+                    detector=config.detector,
+                    phi_suspect=config.phi_suspect,
+                    phi_down=config.phi_down,
+                    echo_timeout_s=config.echo_timeout_s,
+                    health=self.health,
                 )
                 manager.attach_group_manager(gm)
                 self.group_managers[gm.name] = gm
@@ -345,7 +394,9 @@ class VDCERuntime:
 
         # placement itself (pure); its wall cost is negligible vs messages
         table = scheduler.schedule(
-            afg, view, tracer=self.tracer, metrics=self.metrics
+            afg, view, tracer=self.tracer, metrics=self.metrics,
+            health_of=(self.health.factor_of if self.health is not None
+                       else None),
         )
         self.tracer.end_span(span_id, source=f"sm:{local_site}")
         if self.metrics.enabled:

@@ -125,6 +125,7 @@ def bid_for_task(
     repo: SiteRepository,
     model: PredictionModel,
     extra_load_of,
+    health_of=None,
 ) -> Optional[HostSelectionResult]:
     """Figure 3's inner step for one task at one site.
 
@@ -132,13 +133,26 @@ def bid_for_task(
     caller-supplied in-round load ``extra_load_of(host_name)`` added)
     and returns the minimising host group, or ``None`` when the site
     cannot run the task (no feasible hosts, task unknown to its DBs).
+
+    ``health_of`` (optional, from :class:`~repro.runtime.straggler.
+    HostHealth`) maps a host name to a multiplicative prediction
+    penalty, or ``None`` for a quarantined host, which is excluded from
+    the candidate set entirely.
     """
     props = task.properties
     candidates = candidate_hosts(task, repo)
     n_nodes = props.n_nodes if props.is_parallel else 1
-    if len(candidates) < n_nodes:
-        return None
     if not repo.task_perf.has(task.task_type):
+        return None
+    factors: Dict[str, float] = {}
+    if health_of is not None:
+        for record in list(candidates):
+            factor = health_of(record.name)
+            if factor is None:
+                candidates.remove(record)  # quarantined
+            else:
+                factors[record.name] = factor
+    if len(candidates) < n_nodes:
         return None
     memory_mb = props.memory_mb if props.memory_mb > 0 else None
     predictions = sorted(
@@ -151,7 +165,8 @@ def bid_for_task(
                 repo.task_perf,
                 memory_mb=memory_mb,
                 extra_load=float(extra_load_of(record.name)),
-            ),
+            )
+            * factors.get(record.name, 1.0),
             record.name,
         )
         for record in candidates
@@ -174,6 +189,7 @@ def select_hosts(
     order: Optional[List[str]] = None,
     tracer: Tracer = NULL_TRACER,
     metrics: MetricsRegistry = NULL_METRICS,
+    health_of=None,
 ) -> Dict[str, HostSelectionResult]:
     """Run Figure 3 at one site; return this site's bids, keyed by task id.
 
@@ -181,6 +197,8 @@ def select_hosts(
     E9 ablation passes a FIFO/topological order here.  ``tracer``
     records one :data:`~repro.trace.events.EventKind.HOST_BID` event
     per bid produced; ``metrics`` counts bids and declines per site.
+    ``health_of`` is the optional host-health penalty/quarantine hook
+    (see :func:`bid_for_task`).
     """
     model = model or PredictionModel()
     results: Dict[str, HostSelectionResult] = {}
@@ -223,7 +241,7 @@ def select_hosts(
 
         # Step 4: Predict(task, Rj) for every feasible Rj, with the
         # in-round load of concurrent commitments added.
-        bid = bid_for_task(task, repo, model, concurrent_commitments)
+        bid = bid_for_task(task, repo, model, concurrent_commitments, health_of)
         if bid is None:
             if metrics.enabled:
                 metrics.counter(

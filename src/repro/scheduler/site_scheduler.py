@@ -105,10 +105,11 @@ class SiteScheduler:
         view: FederationView,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        health_of=None,
     ) -> AllocationTable:
         """Run Figure 2 and return the resource allocation table."""
         table, _ = self.schedule_with_trace(
-            afg, view, tracer=tracer, metrics=metrics
+            afg, view, tracer=tracer, metrics=metrics, health_of=health_of
         )
         return table
 
@@ -118,11 +119,15 @@ class SiteScheduler:
         view: FederationView,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        health_of=None,
     ) -> Tuple[AllocationTable, List[str]]:
         """As :meth:`schedule`, also returning the placement order.
 
         ``tracer`` records one ``schedule_decision`` event per placed
         task — the substrate for trace-diffing a scheduling change.
+        ``health_of`` is the optional host-health penalty/quarantine
+        hook threaded into every bid (see
+        :func:`~repro.scheduler.host_selection.bid_for_task`).
         """
         validate_afg(afg)
 
@@ -169,7 +174,8 @@ class SiteScheduler:
             else:
                 task_id = ready.pop(0)  # FIFO ablation (E9)
             assignment = self._place_task(
-                afg, task_id, sites, view, site_by_task, committed, related
+                afg, task_id, sites, view, site_by_task, committed, related,
+                health_of,
             )
             if tracer.enabled:
                 tracer.emit(
@@ -216,6 +222,7 @@ class SiteScheduler:
         site_by_task: Dict[str, str],
         committed: Dict[str, List[str]],
         related: Dict[str, Set[str]],
+        health_of=None,
     ) -> TaskAssignment:
         task = afg.task(task_id)
 
@@ -230,7 +237,8 @@ class SiteScheduler:
         bids: Dict[str, HostSelectionResult] = {}
         for site in sites:
             bid = bid_for_task(
-                task, view.repository(site), self.model, extra_load_of
+                task, view.repository(site), self.model, extra_load_of,
+                health_of,
             )
             if bid is not None:
                 bids[site] = bid

@@ -29,6 +29,20 @@ I5 — *resume equivalence*: every completed application's terminal
 I6 — *no orphaned group*: at campaign end every Site Manager is
      re-registered, every Group Manager is live (original or deputy),
      and every host is owned by exactly one live Group Manager.
+I7 — *speculation safety*: every completed application that resolved at
+     least one speculative race with a backup win still reproduces the
+     pure-evaluation oracle's terminal output hashes — which copy won
+     must be unobservable in the outputs.
+I8 — *bounded waste*: at most one backup is ever launched per task
+     attempt, every speculative race launched by a completed
+     application is resolved (no leaked backups), and no backup is
+     launched after its race has already been decided.
+
+Campaigns can also inject *performance* faults — scripted host
+slowdowns and stochastic slow/normal flapping — and enable the
+straggler defenses (phi-accrual detection, speculative re-execution,
+host-health quarantine) they exist to stress.  All of it defaults off,
+so existing configs hash identically.
 
 Everything is deterministic: victims are drawn from the named stream
 ``chaos:plan``, fault processes from their per-target streams, and the
@@ -40,6 +54,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -47,7 +62,13 @@ from repro.sim.failures import FailureInjector
 from repro.sim.host import HostDownError
 from repro.sim.kernel import Timeout
 
-__all__ = ["ChaosConfig", "ChaosReport", "run_campaign", "smoke_config"]
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "run_campaign",
+    "slowdown_smoke_config",
+    "smoke_config",
+]
 
 #: worst-case lag between a Group Manager detection and the repository
 #: update it triggers (one lossless LAN notify), plus scheduling slack
@@ -94,6 +115,21 @@ class ChaosConfig:
     echo_loss_prob: float = 0.05
     suspicion_threshold: int = 2
     echo_period_s: float = 5.0
+    # performance faults: scripted slowdowns + stochastic slow/normal
+    # flapping (victims drawn from chaos:plan, after all crash victims,
+    # so enabling them never perturbs an existing config's fault plan)
+    n_slow_hosts: int = 0
+    slowdown_at_s: float = 50.0
+    slowdown_duration_s: float = 60.0
+    slowdown_factor: float = 8.0
+    n_flapping_hosts: int = 0
+    flap_mean_normal_s: float = 40.0
+    flap_mean_slow_s: float = 15.0
+    flap_factor: float = 6.0
+    # straggler defenses under test (defaults mirror RuntimeConfig: off)
+    detector: str = "count"
+    speculation: bool = False
+    health: bool = False
 
     def __post_init__(self) -> None:
         if self.n_sites < 1 or self.hosts_per_site < 1:
@@ -108,6 +144,20 @@ class ChaosConfig:
             raise ValueError("message_loss_prob must be in [0, 1)")
         if not (0.0 <= self.echo_loss_prob < 1.0):
             raise ValueError("echo_loss_prob must be in [0, 1)")
+        if self.n_slow_hosts < 0 or self.n_flapping_hosts < 0:
+            raise ValueError("performance-fault victim counts must be >= 0")
+        if self.n_slow_hosts and (
+            self.slowdown_factor <= 1.0 or self.slowdown_duration_s <= 0
+        ):
+            raise ValueError("slowdown needs factor > 1 and duration > 0")
+        if self.n_flapping_hosts and (
+            self.flap_factor <= 1.0
+            or self.flap_mean_normal_s <= 0
+            or self.flap_mean_slow_s <= 0
+        ):
+            raise ValueError("flapping needs factor > 1 and positive means")
+        if self.detector not in ("count", "phi"):
+            raise ValueError(f"unknown detector {self.detector!r}")
 
 
 def smoke_config(seed: int = 0) -> ChaosConfig:
@@ -135,6 +185,37 @@ def smoke_config(seed: int = 0) -> ChaosConfig:
     )
 
 
+def slowdown_smoke_config(seed: int = 0) -> ChaosConfig:
+    """The straggler-defense campaign CI runs: slowdowns + flapping with
+    phi-accrual detection, speculation, and health quarantine enabled."""
+    return ChaosConfig(
+        seed=seed,
+        n_sites=3,
+        hosts_per_site=3,
+        n_apps=3,
+        duration_s=240.0,
+        app_spacing_s=35.0,
+        n_flaky_hosts=1,
+        host_mtbf_s=120.0,
+        host_mttr_s=25.0,
+        n_flaky_links=0,
+        partition_at_s=None,
+        message_loss_prob=0.02,
+        echo_loss_prob=0.02,
+        n_slow_hosts=6,
+        slowdown_at_s=20.0,
+        slowdown_duration_s=90.0,
+        slowdown_factor=8.0,
+        n_flapping_hosts=3,
+        flap_mean_normal_s=40.0,
+        flap_mean_slow_s=15.0,
+        flap_factor=6.0,
+        detector="phi",
+        speculation=True,
+        health=True,
+    )
+
+
 @dataclass
 class ChaosReport:
     """What one campaign did, found, and hashed to."""
@@ -150,6 +231,11 @@ class ChaosReport:
     metrics_hash: str
     #: ground-truth injection log, serialised for artifacts/reconciliation
     injection_log: List[Dict[str, Any]] = field(default_factory=list)
+    # straggler-defense outcome (zero/empty unless the defenses ran)
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    speculative_wasted_s: float = 0.0
+    quarantined_hosts: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -167,6 +253,10 @@ class ChaosReport:
             "trace_hash": self.trace_hash,
             "metrics_hash": self.metrics_hash,
             "injection_log": list(self.injection_log),
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "speculative_wasted_s": round(self.speculative_wasted_s, 9),
+            "quarantined_hosts": list(self.quarantined_hosts),
             "ok": self.ok,
         }
 
@@ -208,6 +298,7 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
         final_output_hashes,
     )
     from repro.runtime.execution import ExecutionCoordinator, ExecutionError
+    from repro.runtime.straggler import HealthPolicy, SpeculationPolicy
     from repro.runtime.vdce_runtime import RuntimeConfig
     from repro.net.rpc import ManagerUnavailable, RpcTimeout
     from repro.scheduler.site_scheduler import SchedulingError, SiteScheduler
@@ -226,6 +317,9 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             echo_loss_prob=config.echo_loss_prob,
             suspicion_threshold=config.suspicion_threshold,
             echo_period_s=config.echo_period_s,
+            detector=config.detector,
+            speculation=SpeculationPolicy() if config.speculation else None,
+            health=HealthPolicy() if config.health else None,
         ),
         tracer=Tracer(),
         metrics=MetricsRegistry(),
@@ -283,6 +377,28 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             runtime.site_managers[victim], config.sm_crash_at_s,
             duration=config.sm_crash_duration_s,
         )
+    # performance faults draw AFTER every crash victim so that enabling
+    # them leaves an existing config's crash plan untouched
+    n_slow = min(config.n_slow_hosts, len(all_hosts))
+    if n_slow:
+        picks = sorted(plan_rng.choice(len(all_hosts), size=n_slow, replace=False))
+        for i in picks:
+            injector.schedule_host_slowdown(
+                all_hosts[int(i)],
+                start=config.slowdown_at_s,
+                duration=config.slowdown_duration_s,
+                factor=config.slowdown_factor,
+            )
+    n_flap = min(config.n_flapping_hosts, len(all_hosts))
+    if n_flap:
+        picks = sorted(plan_rng.choice(len(all_hosts), size=n_flap, replace=False))
+        for i in picks:
+            injector.start_flapping(
+                all_hosts[int(i)],
+                mean_normal_s=config.flap_mean_normal_s,
+                mean_slow_s=config.flap_mean_slow_s,
+                factor=config.flap_factor,
+            )
 
     # -- submit the application stream -------------------------------------
     outcomes: Dict[str, Dict[str, Any]] = {}
@@ -428,7 +544,14 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             f"detections of healthy hosts vs {observed_fp} recorded "
             "false positives"
         )
-    window = (config.suspicion_threshold + 2) * config.echo_period_s
+    if config.detector == "phi":
+        # phi reaches phi_down once elapsed ≈ phi_down·ln10 mean
+        # intervals; allow one period of phase lag plus slack
+        window = (
+            runtime.config.phi_down * math.log(10.0) + 3.0
+        ) * config.echo_period_s
+    else:
+        window = (config.suspicion_threshold + 2) * config.echo_period_s
     for host in host_names:
         for down_at, up_at in down_intervals[host]:
             end = up_at if up_at is not None else sim.now
@@ -480,6 +603,60 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                 "managers (expected exactly 1)"
             )
 
+    # I7: speculation safety — a completed application whose schedule
+    # was decided by a backup win must still match the oracle exactly
+    for coordinator in coordinators:
+        wins = [
+            e for e in coordinator.speculation_log
+            if e["outcome"] == "backup_win"
+        ]
+        if not wins:
+            continue
+        name = coordinator.afg.name
+        if name not in completed_runs:
+            continue
+        app_afg, result = completed_runs[name]
+        expected = expected_output_hashes(app_afg, runtime.registry)
+        actual = final_output_hashes(result)
+        if actual != expected:
+            violations.append(
+                f"I7: application {name!r} completed with "
+                f"{len(wins)} speculative backup win(s) but produced "
+                f"output hashes {actual} != expected {expected}"
+            )
+
+    # I8: bounded waste — ≤1 backup per task attempt, every race a
+    # completed application launched is resolved, and no backup starts
+    # after its race was already decided
+    for coordinator in coordinators:
+        app_completed = coordinator.afg.name in completed_runs
+        seen: Dict[Tuple[str, str, int], int] = {}
+        for entry in coordinator.speculation_log:
+            key = (entry["application"], entry["task"], entry["attempt"])
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] > 1:
+                violations.append(
+                    f"I8: task {entry['task']!r} of "
+                    f"{entry['application']!r} (attempt {entry['attempt']}) "
+                    f"launched {seen[key]} backups for one race"
+                )
+            resolved_at = entry["resolved_at"]
+            if resolved_at is not None and resolved_at < entry["launched_at"]:
+                violations.append(
+                    f"I8: backup for task {entry['task']!r} of "
+                    f"{entry['application']!r} launched at "
+                    f"{entry['launched_at']:.3f}, after its race was "
+                    f"decided at {resolved_at:.3f}"
+                )
+            if app_completed and (
+                entry["outcome"] is None or resolved_at is None
+            ):
+                violations.append(
+                    f"I8: application {entry['application']!r} completed "
+                    f"but the backup for task {entry['task']!r} was never "
+                    "resolved (leaked speculative copy)"
+                )
+
     return ChaosReport(
         config=config,
         outcomes=outcomes,
@@ -491,9 +668,21 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
         trace_hash=vdce.trace_hash(),
         metrics_hash=vdce.metrics_hash(),
         injection_log=[
-            {"time": round(e.time, 9), "target": e.host, "kind": e.kind}
+            {
+                "time": round(e.time, 9),
+                "target": e.host,
+                "kind": e.kind,
+                "factor": round(e.factor, 9),
+            }
             for e in injector.log
         ],
+        speculative_launches=runtime.stats.speculative_launches,
+        speculative_wins=runtime.stats.speculative_wins,
+        speculative_wasted_s=runtime.stats.speculative_wasted_s,
+        quarantined_hosts=(
+            sorted(runtime.health.quarantined_hosts())
+            if runtime.health is not None else []
+        ),
     )
 
 

@@ -8,7 +8,11 @@ resource-performance database."
 
 This module provides the ground truth that machinery must detect:
 scheduled or stochastic crash/recover events on hosts, link outages,
-whole-site outages, and WAN partitions.  Detection latency experiments
+whole-site outages, WAN partitions, and *performance faults* —
+slowdown intervals and stochastic flapping during which a host answers
+echoes but computes at a fraction of its nominal speed (the straggler
+model the phi-accrual detector and speculative re-execution defend
+against).  Detection latency experiments
 (E6) and the chaos harness (:mod:`repro.sim.chaos`) compare the
 injection log against the runtime's repository updates.
 
@@ -40,7 +44,9 @@ class FailureEvent:
 
     time: float
     host: str
-    kind: str  # "down" | "up" | "partition" | "heal"
+    kind: str  # "down" | "up" | "partition" | "heal" | "slow" | "normal"
+    #: slowdown factor for "slow" events (1.0 otherwise)
+    factor: float = 1.0
 
 
 class FailureInjector:
@@ -93,6 +99,70 @@ class FailureInjector:
                 return
             host.recover()
         self.log.append(FailureEvent(self.sim.now, host.name, kind))
+
+    # -- scripted performance faults (stragglers) ------------------------------
+
+    def schedule_host_slowdown(
+        self, host: Host, start: float, duration: float, factor: float
+    ) -> None:
+        """Degrade ``host`` by ``factor`` at ``start``, restoring it
+        ``duration`` later.
+
+        While degraded every resident execution progresses ``factor``
+        times slower (compute *and* the IO the host mediates), so the
+        host looks alive to echo packets but genuinely straggles.
+        """
+        if duration <= 0:
+            raise ValueError("slowdown duration must be positive")
+        if factor <= 1.0:
+            raise ValueError(f"slowdown factor must exceed 1, got {factor}")
+        if start < self.sim.now:
+            raise ValueError(
+                f"cannot schedule a slowdown event in the past "
+                f"(time={start}, now={self.sim.now})"
+            )
+        self.sim.call_at(start, lambda: self._apply_slowdown(host, factor))
+        self.sim.call_at(start + duration, lambda: self._apply_slowdown(host, 1.0))
+
+    def _apply_slowdown(self, host: Host, factor: float) -> None:
+        if factor > 1.0:
+            if host.slowdown > 1.0:
+                return  # already degraded: nothing changes, nothing logged
+            host.set_slowdown(factor)
+            self.log.append(FailureEvent(self.sim.now, host.name, "slow", factor))
+        else:
+            if host.slowdown <= 1.0:
+                return
+            host.set_slowdown(1.0)
+            self.log.append(FailureEvent(self.sim.now, host.name, "normal"))
+
+    def start_flapping(
+        self,
+        host: Host,
+        mean_normal_s: float,
+        mean_slow_s: float,
+        factor: float,
+    ) -> Process:
+        """Stochastic performance flapping for ``host``.
+
+        Alternates exponentially distributed nominal and degraded
+        phases; draws come from the stream ``fail:<host>`` like the
+        crash injector, so one host's fate never perturbs another's.
+        """
+        if mean_normal_s <= 0 or mean_slow_s <= 0:
+            raise ValueError("mean_normal_s and mean_slow_s must be positive")
+        if factor <= 1.0:
+            raise ValueError(f"slowdown factor must exceed 1, got {factor}")
+
+        def run():
+            rng = self.sim.rng(f"fail:{host.name}")
+            while True:
+                yield Timeout(float(rng.exponential(mean_normal_s)))
+                self._apply_slowdown(host, factor)
+                yield Timeout(float(rng.exponential(mean_slow_s)))
+                self._apply_slowdown(host, 1.0)
+
+        return self.sim.process(run(), name=f"flapinj:{host.name}")
 
     # -- scripted link faults ------------------------------------------------
 
@@ -315,4 +385,26 @@ class FailureInjector:
                 down_at = None
         if down_at is not None:
             intervals.append((down_at, None))
+        return intervals
+
+    def slowdown_intervals(self, name: str) -> List[Tuple[float, Optional[float]]]:
+        """``(slow_at, normal_at)`` pairs for a host; ``normal_at`` is
+        ``None`` while still degraded.
+
+        Mirrors :meth:`downtime_intervals`: duplicate "slow" (or
+        "normal") events for a host already in that state are tolerated
+        by keeping the earliest "slow" of each interval.
+        """
+        intervals: List[Tuple[float, Optional[float]]] = []
+        slow_at: Optional[float] = None
+        for event in self.log:
+            if event.host != name:
+                continue
+            if event.kind == "slow" and slow_at is None:
+                slow_at = event.time
+            elif event.kind == "normal" and slow_at is not None:
+                intervals.append((slow_at, event.time))
+                slow_at = None
+        if slow_at is not None:
+            intervals.append((slow_at, None))
         return intervals

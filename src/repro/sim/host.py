@@ -14,6 +14,13 @@ a processor-sharing queue: each task progresses at rate
 thrashing penalty.  These are exactly the quantities the VDCE
 performance-prediction model (paper §3) reasons about, so prediction
 accuracy in experiments is a controlled variable, not an accident.
+
+Beyond binary up/down, a host carries a time-varying *slowdown*
+factor (performance-fault model): while ``slowdown > 1`` every
+resident execution progresses that many times slower, so a straggling
+host genuinely stretches task execution instead of crashing it.  The
+factor is driven by :class:`~repro.sim.failures.FailureInjector`
+(scripted slowdowns and stochastic flapping); ``1.0`` is nominal.
 """
 
 from __future__ import annotations
@@ -121,6 +128,9 @@ class Host:
         self.site_name = site_name
         self.state = HostState.UP
         self.bg_load: float = 0.0
+        #: performance-fault factor: > 1 stretches every resident
+        #: execution by that multiple (1.0 = nominal)
+        self.slowdown: float = 1.0
         self._running: list[TaskExecution] = []
         self._last_settle = sim.now
         self._completion_call = None
@@ -164,6 +174,8 @@ class Host:
         used = sum(e.memory_mb for e in self._running)
         if used > self.spec.memory_mb:
             rate *= self.spec.thrash_factor
+        if self.slowdown > 1.0:
+            rate /= self.slowdown
         return rate
 
     def execute(self, work: float, memory_mb: int = 0, label: str = "") -> TaskExecution:
@@ -207,6 +219,22 @@ class Host:
             raise SimulationError(f"negative background load: {value}")
         self._settle()
         self.bg_load = float(value)
+        self._reschedule_completion()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Change the performance-fault factor (1.0 restores nominal).
+
+        Progress accrued so far is settled first, so an execution that
+        ran nominal for a while and then straggles stretches only its
+        remaining work — the factor is genuinely time-varying.
+        """
+        if factor < 1.0:
+            raise SimulationError(f"slowdown factor must be >= 1, got {factor}")
+        if factor == self.slowdown:
+            return
+        self._settle()
+        self.slowdown = float(factor)
+        self.sim.trace("host.slowdown", host=self.spec.name, factor=factor)
         self._reschedule_completion()
 
     # -- failures ------------------------------------------------------------

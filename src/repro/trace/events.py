@@ -76,6 +76,15 @@ class EventKind:
     MANAGER_CRASH = "manager_crash"
     MANAGER_RECOVER = "manager_recover"
 
+    # -- straggler defense (performance-fault model) ------------------------
+    SUSPECT = "suspect"
+    TRUST = "trust"
+    SPECULATE = "speculate"
+    SPECULATE_WIN = "speculate_win"
+    SPECULATE_CANCEL = "speculate_cancel"
+    QUARANTINE = "quarantine"
+    PROBATION = "probation"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

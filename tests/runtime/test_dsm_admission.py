@@ -211,6 +211,31 @@ class TestAdmissionQueue:
         assert "no site can run" in outcome["bad"]
         assert outcome["ok"] == "ok"
 
+    def test_queue_wait_recorded_in_stats(self):
+        # pins the CLI-facing contract: per-application queue waits land
+        # in RuntimeStats.queue_waits and sum into queue_wait_s
+        rt = build_runtime()
+        queue = AdmissionQueue(rt, max_concurrent=1)
+        signals = [
+            queue.submit(chain_afg(n=2, scale=2.0, name=f"w{i}"), "admin")
+            for i in range(3)
+        ]
+
+        def waiter():
+            for s in signals:
+                yield s
+
+        rt.sim.run_until_complete(rt.sim.process(waiter()))
+        waits = rt.stats.queue_waits
+        assert set(waits) == {"w0", "w1", "w2"}
+        assert waits["w0"] == 0.0  # an idle queue admits immediately
+        assert waits["w1"] > 0.0
+        assert waits["w2"] > waits["w1"]  # FIFO: later copies wait longer
+        assert rt.stats.queue_wait_s == pytest.approx(sum(waits.values()))
+        assert rt.stats.as_dict()["queue_wait_s"] == pytest.approx(
+            rt.stats.queue_wait_s
+        )
+
     def test_unknown_user_rejected(self):
         rt = build_runtime()
         queue = AdmissionQueue(rt)

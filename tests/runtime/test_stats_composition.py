@@ -39,6 +39,8 @@ _NON_CONTROL_FIELDS = {
     "failovers": 73,
     "checkpoint_records": 79,
     "resumes": 83,
+    "speculative_launches": 89,
+    "speculative_wins": 97,
 }
 
 
