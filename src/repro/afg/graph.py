@@ -10,6 +10,7 @@ remote sites (Fig. 2, step 3).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -55,6 +56,9 @@ class ApplicationFlowGraph:
         self._edges: List[Edge] = []
         self._succ: Dict[str, List[Edge]] = {}
         self._pred: Dict[str, List[Edge]] = {}
+        #: bumped on any node/edge change; derived-structure caches
+        #: (e.g. the scheduler's reachability sets) key on it
+        self.structure_version = 0
 
     # -- construction ----------------------------------------------------
 
@@ -64,6 +68,7 @@ class ApplicationFlowGraph:
         self._tasks[task.id] = task
         self._succ[task.id] = []
         self._pred[task.id] = []
+        self.structure_version += 1
         return task
 
     def replace_task(self, task: TaskNode) -> TaskNode:
@@ -86,6 +91,7 @@ class ApplicationFlowGraph:
         del self._tasks[task_id]
         del self._succ[task_id]
         del self._pred[task_id]
+        self.structure_version += 1
         return node
 
     def disconnect(
@@ -100,6 +106,7 @@ class ApplicationFlowGraph:
                 self._edges.remove(edge)
                 self._succ[src].remove(edge)
                 self._pred[dst].remove(edge)
+                self.structure_version += 1
                 return edge
         raise KeyError(
             f"no edge {src!r}:{src_port} -> {dst!r}:{dst_port}"
@@ -140,6 +147,7 @@ class ApplicationFlowGraph:
         self._edges.append(edge)
         self._succ[src].append(edge)
         self._pred[dst].append(edge)
+        self.structure_version += 1
         return edge
 
     # -- queries -------------------------------------------------------------
@@ -209,22 +217,25 @@ class ApplicationFlowGraph:
     # -- graph algorithms --------------------------------------------------
 
     def topological_order(self) -> List[str]:
-        """Kahn's algorithm; raises on cycles; deterministic order."""
+        """Kahn's algorithm; raises on cycles; deterministic order.
+
+        The ready set is a min-heap, so each step still removes the
+        lexicographically smallest ready task (the same order the old
+        sorted-list implementation produced) without re-sorting the
+        whole list per step — that re-sort made wide graphs quadratic.
+        """
         indeg = {t: len(self._pred[t]) for t in self._tasks}
-        ready = sorted(t for t, d in indeg.items() if d == 0)
+        ready = [t for t, d in indeg.items() if d == 0]
+        heapq.heapify(ready)
         order: List[str] = []
+        pop, push = heapq.heappop, heapq.heappush
         while ready:
-            t = ready.pop(0)
+            t = pop(ready)
             order.append(t)
-            newly = []
             for e in self._succ[t]:
                 indeg[e.dst] -= 1
                 if indeg[e.dst] == 0:
-                    newly.append(e.dst)
-            # keep deterministic order without resorting the whole list
-            for n in sorted(set(newly)):
-                ready.append(n)
-            ready.sort()
+                    push(ready, e.dst)
         if len(order) != len(self._tasks):
             raise ValueError(f"AFG {self.name!r} contains a cycle")
         return order

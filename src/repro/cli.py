@@ -15,6 +15,8 @@ Commands:
   structural diff (first divergent event + per-kind count deltas);
 * ``experiments`` — print the experiment index (DESIGN.md §4) and the
   bench command that regenerates each one;
+* ``bench`` — run the benchmark trajectory (wall time + determinism
+  oracles), optionally comparing against a committed ``BENCH_*.json``;
 * ``resume <dir>`` — resume an interrupted application from a
   checkpoint directory written by ``run --journal`` (optionally
   checking resume equivalence against expected output hashes);
@@ -620,6 +622,70 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the benchmark trajectory harness (benchmarks/harness.py)."""
+    import json as _json
+    import os
+
+    try:
+        from benchmarks import harness
+    except ImportError:
+        # benchmarks/ is a repo-root package, not an installed one;
+        # running from anywhere inside a checkout still works
+        sys.path.insert(0, os.getcwd())
+        try:
+            from benchmarks import harness
+        except ImportError:
+            print("error: cannot import benchmarks.harness — run 'repro "
+                  "bench' from the repository root")
+            return 1
+
+    document = harness.run_all(
+        quick=args.quick,
+        with_reference=args.with_reference,
+        label=args.label,
+    )
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                harness.embed_baseline(document, _json.load(fh))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.baseline}: {exc}")
+            return 1
+    print(harness.format_document(document))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(harness.to_json(document))
+        except OSError as exc:
+            print(f"error: cannot write bench document to {args.out}: {exc}")
+            return 1
+        print(f"\nbench document written to {args.out}")
+    if args.compare:
+        try:
+            with open(args.compare, encoding="utf-8") as fh:
+                previous = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load previous bench document "
+                  f"{args.compare}: {exc}")
+            return 1
+        problems = harness.compare(
+            previous, document,
+            tolerance=args.tolerance, hash_only=args.hash_only,
+        )
+        if problems:
+            print(f"\ncomparison vs {args.compare}: "
+                  f"{len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        detail = ("behaviour hashes identical" if args.hash_only else
+                  f"hashes identical, throughput within "
+                  f"{args.tolerance:.0%} of reference")
+        print(f"\ncomparison vs {args.compare}: clean ({detail})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -725,6 +791,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--hashes", metavar="PATH",
                        help="write the trace/metrics/campaign hashes to PATH")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark trajectory (wall time + behaviour hashes)")
+    bench.add_argument("--quick", action="store_true",
+                       help="one timed repetition per scenario instead of "
+                            "three (hashes are identical either way)")
+    bench.add_argument("--out", metavar="PATH",
+                       help="write the canonical bench JSON to PATH")
+    bench.add_argument("--compare", metavar="PATH",
+                       help="previous BENCH_*.json: exit 1 on any "
+                            "trace-hash change or throughput regression")
+    bench.add_argument("--hash-only", action="store_true",
+                       help="with --compare: check only the behaviour "
+                            "hashes (wall clocks differ across machines)")
+    bench.add_argument("--tolerance", type=float,
+                       default=0.20,
+                       help="with --compare: allowed fractional throughput "
+                            "drop (default 0.20)")
+    bench.add_argument("--with-reference", action="store_true",
+                       help="re-run every scenario with all perf flags off "
+                            "and embed the reference + speedup")
+    bench.add_argument("--baseline", metavar="PATH",
+                       help="an older bench document (pre-optimization "
+                            "code) to embed verbatim as this document's "
+                            "fixed baseline, with speedup_vs_baseline")
+    bench.add_argument("--label", default="BENCH_6",
+                       help="document label (the committed file's stem)")
+
     sub.add_parser("experiments", help="print the experiment index")
 
     resume = sub.add_parser(
@@ -765,6 +859,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "monitor": cmd_monitor,
         "metrics": cmd_metrics,
         "analyze": cmd_analyze,
+        "bench": cmd_bench,
         "chaos": cmd_chaos,
         "topology": cmd_topology,
         "experiments": cmd_experiments,

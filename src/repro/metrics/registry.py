@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
+    "CounterChild",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
@@ -45,6 +46,7 @@ __all__ = [
     "NULL_METRICS",
     "NullMetricsRegistry",
     "Series",
+    "SeriesChild",
 ]
 
 #: latency-flavoured default bucket edges (seconds); +Inf is implicit
@@ -106,8 +108,34 @@ class Counter(_Metric):
         """Sum over every label set."""
         return sum(self._values.values())
 
+    def child(self, **labels: Any) -> "CounterChild":
+        """A write handle with the label key resolved once.
+
+        Periodic writers (monitor daemons, echo loops) label every
+        increment identically; resolving the family and canonicalising
+        the label set per period was measurable bookkeeping.  The child
+        writes into the same cell ``inc(**labels)`` would — totals and
+        snapshots are indistinguishable.
+        """
+        return CounterChild(self, _label_key(labels))
+
     def label_sets(self) -> List[LabelKey]:
         return sorted(self._values)
+
+
+class CounterChild:
+    """Pre-labeled :class:`Counter` writer (see :meth:`Counter.child`)."""
+
+    __slots__ = ("_values", "_key")
+
+    def __init__(self, counter: Counter, key: LabelKey):
+        self._values = counter._values
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counter cannot decrease")
+        self._values[self._key] = self._values.get(self._key, 0.0) + float(amount)
 
 
 class Gauge(_Metric):
@@ -231,8 +259,33 @@ class Series(_Metric):
         pts = self._points.get(_label_key(labels))
         return pts[-1] if pts else None
 
+    def child(self, **labels: Any) -> "SeriesChild":
+        """A pre-labeled append handle (see :meth:`Counter.child`).
+
+        The label entry is created lazily on the first observation, so
+        an unused child never adds an empty series to the snapshot.
+        """
+        return SeriesChild(self, _label_key(labels))
+
     def label_sets(self) -> List[LabelKey]:
         return sorted(self._points)
+
+
+class SeriesChild:
+    """Pre-labeled :class:`Series` writer (see :meth:`Series.child`)."""
+
+    __slots__ = ("_series", "_key", "_pts")
+
+    def __init__(self, series: Series, key: LabelKey):
+        self._series = series
+        self._key = key
+        self._pts: Optional[List[Tuple[float, float]]] = None
+
+    def observe(self, value: float) -> None:
+        pts = self._pts
+        if pts is None:
+            pts = self._pts = self._series._points.setdefault(self._key, [])
+        pts.append((self._series.registry.now, float(value)))
 
 
 class MetricsRegistry:
@@ -360,6 +413,9 @@ class _NullMetric(Counter, Gauge, Histogram, Series):  # type: ignore[misc]
 
     def value(self, **labels: Any) -> float:
         return 0.0
+
+    def child(self, **labels: Any) -> "_NullMetric":
+        return self
 
     def label_sets(self) -> List[LabelKey]:
         return []

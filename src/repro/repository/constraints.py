@@ -23,6 +23,8 @@ class TaskConstraintsDB:
         self.site_name = site_name
         self._paths: Dict[Tuple[str, str], str] = {}
         self._hosts_by_task: Dict[str, List[str]] = {}
+        #: bumped on any registration change (the host index watches it)
+        self.version = 0
 
     def register(self, task_type: str, host: str, path: str) -> None:
         if not path.startswith("/"):
@@ -36,6 +38,7 @@ class TaskConstraintsDB:
             )
         self._paths[key] = path
         self._hosts_by_task.setdefault(task_type, []).append(host)
+        self.version += 1
 
     def install_everywhere(
         self, task_types: Iterable[str], hosts: Iterable[str],
@@ -77,6 +80,8 @@ class TaskConstraintsDB:
         for key in doomed:
             del self._paths[key]
             self._hosts_by_task[key[0]].remove(host)
+        if doomed:
+            self.version += 1
         return len(doomed)
 
     def __len__(self) -> int:

@@ -52,6 +52,13 @@ class ResourcePerformanceDB:
         self._links: Dict[str, LinkSpec] = {}
         self.workload_updates = 0
         self.status_updates = 0
+        #: bumped when the host *population* changes (registrations);
+        #: the host index's name tables only rebuild on this counter
+        self.registration_version = 0
+        #: bumped on every dynamic write (workload report, up/down
+        #: transition) — keys the host index's record-list cache, which
+        #: is valid precisely while no host row changed
+        self.state_version = 0
 
     # -- host registration --------------------------------------------------
 
@@ -65,6 +72,7 @@ class ResourcePerformanceDB:
             available_memory_mb=spec.memory_mb,
         )
         self._hosts[spec.name] = record
+        self.registration_version += 1
         return record
 
     def has_host(self, name: str) -> bool:
@@ -95,18 +103,21 @@ class ResourcePerformanceDB:
         )
         self._hosts[name] = record
         self.workload_updates += 1
+        self.state_version += 1
         return record
 
     def mark_down(self, name: str, time: float) -> HostRecord:
         record = replace(self.get(name), up=False, updated_at=time)
         self._hosts[name] = record
         self.status_updates += 1
+        self.state_version += 1
         return record
 
     def mark_up(self, name: str, time: float) -> HostRecord:
         record = replace(self.get(name), up=True, updated_at=time)
         self._hosts[name] = record
         self.status_updates += 1
+        self.state_version += 1
         return record
 
     # -- queries (read by the scheduler) ---------------------------------------

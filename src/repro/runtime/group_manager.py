@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+import repro.perf as perf
 from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.straggler import HostHealth, PhiAccrualDetector
@@ -127,6 +128,11 @@ class GroupManager:
         #: hosts currently under suspicion (phi mode only)
         self._suspected: Dict[str, bool] = {h.name: False for h in group}
         self._echo_process: Optional[Process] = None
+        #: pre-labelled counter handles for the measurement fast path,
+        #: resolved lazily at first use so instrument-family creation
+        #: happens at the same instant as on the reference path
+        self._suppressed_child = None
+        self._forwards_child = None
         self.false_positives = 0
         #: False while the manager process is crashed (fault injection)
         self.alive = True
@@ -257,10 +263,19 @@ class GroupManager:
         if last is not None and abs(measurement.load - last) < self.change_threshold:
             self.stats.workload_suppressed += 1
             if metrics.enabled:
-                metrics.counter(
-                    "vdce_workload_suppressed_by_group_total",
-                    "measurements filtered by the significant-change test",
-                ).inc(group=self.name)
+                if perf.FLAGS.batched_bookkeeping:
+                    child = self._suppressed_child
+                    if child is None:
+                        child = self._suppressed_child = metrics.counter(
+                            "vdce_workload_suppressed_by_group_total",
+                            "measurements filtered by the significant-change test",
+                        ).child(group=self.name)
+                    child.inc()
+                else:
+                    metrics.counter(
+                        "vdce_workload_suppressed_by_group_total",
+                        "measurements filtered by the significant-change test",
+                    ).inc(group=self.name)
             if self.tracer.enabled:
                 self.tracer.emit(
                     EventKind.WORKLOAD_SUPPRESS, source=f"gm:{self.name}",
@@ -270,10 +285,19 @@ class GroupManager:
         self._last_forwarded[measurement.host] = measurement.load
         self.stats.workload_forwards += 1
         if metrics.enabled:
-            metrics.counter(
-                "vdce_workload_forwards_by_group_total",
-                "significant measurements forwarded to the Site Manager",
-            ).inc(group=self.name)
+            if perf.FLAGS.batched_bookkeeping:
+                child = self._forwards_child
+                if child is None:
+                    child = self._forwards_child = metrics.counter(
+                        "vdce_workload_forwards_by_group_total",
+                        "significant measurements forwarded to the Site Manager",
+                    ).child(group=self.name)
+                child.inc()
+            else:
+                metrics.counter(
+                    "vdce_workload_forwards_by_group_total",
+                    "significant measurements forwarded to the Site Manager",
+                ).inc(group=self.name)
         if self.tracer.enabled:
             self.tracer.emit(
                 EventKind.WORKLOAD_FORWARD, source=f"gm:{self.name}",
@@ -296,18 +320,36 @@ class GroupManager:
 
     def _echo_loop(self, generation: int):
         rng = self.sim.rng(f"echo:{self.name}")
+        echo_child = None
+        batched = False
         while True:
             yield Timeout(self.echo_period_s)
             if generation != self._generation:
                 return  # crashed (or failed over) since our last tick
             metrics = self.sim.metrics
+            batched = perf.FLAGS.batched_bookkeeping
+            if batched:
+                # one aggregate bump per round instead of one per host —
+                # counters are untimestamped, so the end-of-run snapshot
+                # is byte-identical to the per-host reference increments
+                n = len(self.group)
+                if n:
+                    self.stats.echo_packets += n
+                    if metrics.enabled:
+                        if echo_child is None:
+                            echo_child = metrics.counter(
+                                "vdce_echo_packets_by_group_total",
+                                "echo round trips attempted, per group",
+                            ).child(group=self.name)
+                        echo_child.inc(n)
             for host in self.group:
-                self.stats.echo_packets += 1
-                if metrics.enabled:
-                    metrics.counter(
-                        "vdce_echo_packets_by_group_total",
-                        "echo round trips attempted, per group",
-                    ).inc(group=self.name)
+                if not batched:
+                    self.stats.echo_packets += 1
+                    if metrics.enabled:
+                        metrics.counter(
+                            "vdce_echo_packets_by_group_total",
+                            "echo round trips attempted, per group",
+                        ).inc(group=self.name)
                 # an echo round trip on the LAN; the response reflects the
                 # host's state when the packet arrives, and may be lost
                 responded = host.is_up()

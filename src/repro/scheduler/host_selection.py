@@ -50,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+import repro.perf as perf
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.task import TaskNode
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
@@ -59,7 +60,13 @@ from repro.scheduler.prediction import PredictionModel
 from repro.trace.events import EventKind
 from repro.trace.tracer import NULL_TRACER, Tracer
 
-__all__ = ["HostSelectionResult", "bid_for_task", "candidate_hosts", "select_hosts"]
+__all__ = [
+    "CommitmentLedger",
+    "HostSelectionResult",
+    "bid_for_task",
+    "candidate_hosts",
+    "select_hosts",
+]
 
 
 @dataclass(frozen=True)
@@ -91,8 +98,22 @@ def _matches_machine_type(record: HostRecord, machine_type: str) -> bool:
 
 
 def candidate_hosts(task: TaskNode, repo: SiteRepository) -> List[HostRecord]:
-    """Feasible hosts for ``task`` at this site, in stable name order."""
-    records = repo.runnable_up_hosts(task.task_type)
+    """Feasible hosts for ``task`` at this site, in stable name order.
+
+    The sorted order is a repository invariant the rest of host
+    selection depends on (bids are built positionally from it); the
+    indexed and reference paths both uphold it, and
+    ``tests/scheduler/test_host_index.py`` pins the two paths to the
+    same answer.  Preference filters preserve relative order, so
+    filtering the index's pre-sorted table equals sorting the filtered
+    reference scan.
+    """
+    if perf.FLAGS.host_index:
+        records = repo.host_index.runnable_up_hosts(task.task_type)
+        presorted = True
+    else:
+        records = repo.runnable_up_hosts(task.task_type)
+        presorted = False
     props = task.properties
     if props.preferred_machine is not None:
         records = [r for r in records if r.name == props.preferred_machine]
@@ -100,11 +121,23 @@ def candidate_hosts(task: TaskNode, repo: SiteRepository) -> List[HostRecord]:
         records = [
             r for r in records if _matches_machine_type(r, props.preferred_machine_type)
         ]
+    if presorted:
+        return records
     return sorted(records, key=lambda r: r.name)
 
 
 def _reachability(afg: ApplicationFlowGraph) -> Dict[str, Set[str]]:
-    """task -> set of tasks ordered with it (ancestors + descendants)."""
+    """task -> set of tasks ordered with it (ancestors + descendants).
+
+    Memoized on the graph object against its ``structure_version``:
+    every participating site computes reachability for the *same*
+    multicast AFG, and the sets depend only on graph structure.  The
+    cached dict is shared read-only by all callers.
+    """
+    cached = getattr(afg, "_reachability_cache", None)
+    version = afg.structure_version
+    if cached is not None and cached[0] == version:
+        return cached[1]
     order = afg.topological_order()
     ancestors: Dict[str, Set[str]] = {}
     for task_id in order:
@@ -117,7 +150,89 @@ def _reachability(afg: ApplicationFlowGraph) -> Dict[str, Set[str]]:
     for task_id in order:
         for ancestor in ancestors[task_id]:
             related[ancestor].add(task_id)
+    afg._reachability_cache = (version, related)
     return related
+
+
+class CommitmentLedger:
+    """In-round commitment accounting with O(|related|) queries.
+
+    The reference path answers "how many tasks already placed on host
+    ``R`` can run concurrently with ``task_i``?" by rescanning *every*
+    commitment on ``R`` for every (task, host) prediction — O(total
+    commitments) per pair, quadratic over a large bag.  The ledger
+    keeps per-host totals and, once per queried task, a per-host count
+    of that task's *related* (ordered) placements; the concurrent count
+    is then ``total[R] - related_on[R]`` in O(1).
+
+    Equivalence: every committed task appears at most once per host
+    (bid host groups are duplicate-free), and relatedness is symmetric,
+    so subtracting the related placements from the total is exactly the
+    reference's "count others not in related[task]" — same float, every
+    query.
+    """
+
+    def __init__(self, related: Dict[str, Set[str]]):
+        self._related = related
+        self._total: Dict[str, int] = {}
+        self._placed_on: Dict[str, Tuple[str, ...]] = {}
+        self._for_task: Optional[str] = None
+        self._related_on: Dict[str, int] = {}
+
+    def commit(self, task_id: str, hosts: Tuple[str, ...]) -> None:
+        """Record ``task_id`` as placed on ``hosts`` this round."""
+        self._placed_on[task_id] = tuple(hosts)
+        total = self._total
+        for host in hosts:
+            total[host] = total.get(host, 0) + 1
+        self._for_task = None  # per-task overlap is stale now
+
+    def extra_load(self, task_id: str, host_name: str) -> float:
+        """Concurrent in-round commitments on ``host_name`` vs ``task_id``."""
+        if task_id != self._for_task:
+            self._begin(task_id)
+        return float(
+            self._total.get(host_name, 0) - self._related_on.get(host_name, 0)
+        )
+
+    def extra_load_fn(self, task_id: str):
+        """A one-argument ``extra_load_of`` bound to ``task_id``.
+
+        Precomputes the related-placement overlay now and returns a
+        flat closure — one call per host query instead of the
+        closure -> method trampoline, which the profile showed costing
+        as much as the arithmetic it wrapped.
+        """
+        if task_id != self._for_task:
+            self._begin(task_id)
+        total_get = self._total.get
+        related_on = self._related_on
+        if not related_on:
+            # bag-of-tasks / entry-wave common case: nothing placed so
+            # far is ordered with this task, the count is the raw total
+            # (an int — exact under IEEE promotion, and int and float
+            # loads hash to the same memo key)
+            def extra_load_of(host_name: str) -> float:
+                return total_get(host_name, 0)
+
+            return extra_load_of
+        related_get = related_on.get
+
+        def extra_load_of(host_name: str) -> float:
+            return float(total_get(host_name, 0) - related_get(host_name, 0))
+
+        return extra_load_of
+
+    def _begin(self, task_id: str) -> None:
+        related_on: Dict[str, int] = {}
+        placed_on = self._placed_on
+        for other in self._related[task_id]:
+            hosts = placed_on.get(other)
+            if hosts:
+                for host in hosts:
+                    related_on[host] = related_on.get(host, 0) + 1
+        self._related_on = related_on
+        self._for_task = task_id
 
 
 def bid_for_task(
@@ -146,39 +261,111 @@ def bid_for_task(
         return None
     factors: Dict[str, float] = {}
     if health_of is not None:
-        for record in list(candidates):
+        # rebuild rather than remove-in-place: candidate lists may be
+        # the host index's cached table, which is shared and read-only
+        kept = []
+        for record in candidates:
             factor = health_of(record.name)
-            if factor is None:
-                candidates.remove(record)  # quarantined
-            else:
+            if factor is not None:  # None = quarantined, excluded
                 factors[record.name] = factor
+                kept.append(record)
+        candidates = kept
     if len(candidates) < n_nodes:
         return None
     memory_mb = props.memory_mb if props.memory_mb > 0 else None
-    predictions = sorted(
-        (
-            model.predict(
-                task.task_type,
-                props.workload_scale,
-                n_nodes,
-                record,
-                repo.task_perf,
-                memory_mb=memory_mb,
-                extra_load=float(extra_load_of(record.name)),
-            )
-            * factors.get(record.name, 1.0),
-            record.name,
+    task_type = task.task_type
+    scale = props.workload_scale
+    if perf.FLAGS.predict_cache and n_nodes == 1:
+        # The hot case (every sequential task, every site, every round):
+        # an explicit min-loop with hoisted locals.  Equivalent to
+        # ``min((time, name) for ...)``: the smallest time wins, a time
+        # tie breaks to the smaller name, and names are unique so the
+        # tuple comparison never ties out.  ``x * 1.0`` is bit-exact
+        # ``x`` for finite predictions, so the factor multiply is
+        # skipped entirely when no health hook supplied one.
+        table = repo.predict_cache.table(model, task_type, scale, 1, memory_mb)
+        table_get = table.get
+        model_predict = model.predict
+        task_perf = repo.task_perf
+        factor_get = factors.get if factors else None
+        best_time = best_name = None
+        for record in candidates:
+            name = record.spec.name
+            extra = extra_load_of(name)
+            key = (name, record.load, record.available_memory_mb, extra)
+            t = table_get(key)
+            if t is None:
+                t = model_predict(
+                    task_type, scale, 1, record, task_perf,
+                    memory_mb=memory_mb, extra_load=extra,
+                )
+                table[key] = t
+            if factor_get is not None:
+                t *= factor_get(name, 1.0)
+            if (
+                best_name is None
+                or t < best_time
+                or (t == best_time and name < best_name)
+            ):
+                best_time, best_name = t, name
+        return HostSelectionResult(
+            task_id=task.id,
+            site=repo.site_name,
+            hosts=(best_name,),
+            predicted_time=best_time,
         )
-        for record in candidates
-    )
-    chosen = predictions[:n_nodes]
+    if perf.FLAGS.predict_cache:
+        cache = repo.predict_cache
+        pairs = (
+            (
+                cache.predict(
+                    model,
+                    task_type,
+                    scale,
+                    n_nodes,
+                    record,
+                    memory_mb,
+                    float(extra_load_of(record.name)),
+                )
+                * factors.get(record.name, 1.0),
+                record.name,
+            )
+            for record in candidates
+        )
+    else:
+        pairs = (
+            (
+                model.predict(
+                    task_type,
+                    scale,
+                    n_nodes,
+                    record,
+                    repo.task_perf,
+                    memory_mb=memory_mb,
+                    extra_load=float(extra_load_of(record.name)),
+                )
+                * factors.get(record.name, 1.0),
+                record.name,
+            )
+            for record in candidates
+        )
+    if n_nodes == 1:
+        # min over (time, name) tuples is sorted(...)[0]: same winner,
+        # same tie-break, no O(m log m) sort for the common case
+        best_time, best_name = min(pairs)
+        chosen_hosts: Tuple[str, ...] = (best_name,)
+        predicted_time = best_time
+    else:
+        chosen = sorted(pairs)[:n_nodes]
+        chosen_hosts = tuple(name for _, name in chosen)
+        # parallel slices run concurrently; the group finishes with its
+        # slowest member (the largest selected prediction)
+        predicted_time = chosen[-1][0]
     return HostSelectionResult(
         task_id=task.id,
         site=repo.site_name,
-        hosts=tuple(name for _, name in chosen),
-        # parallel slices run concurrently; the group finishes with its
-        # slowest member (the largest selected prediction)
-        predicted_time=chosen[-1][0],
+        hosts=chosen_hosts,
+        predicted_time=predicted_time,
     )
 
 
@@ -227,17 +414,21 @@ def select_hosts(
         queue = list(order)
 
     related = _reachability(afg)
-    #: in-round commitments: host -> task ids assigned there
+    ledger = CommitmentLedger(related) if perf.FLAGS.commit_ledger else None
+    #: in-round commitments: host -> task ids assigned there (reference)
     committed: Dict[str, List[str]] = {}
 
     for task_id in queue:
         task = afg.task(task_id)
 
-        def concurrent_commitments(host_name: str, task_id=task_id) -> float:
-            others = committed.get(host_name, ())
-            return float(
-                sum(1 for other in others if other not in related[task_id])
-            )
+        if ledger is not None:
+            concurrent_commitments = ledger.extra_load_fn(task_id)
+        else:
+            def concurrent_commitments(host_name: str, task_id=task_id) -> float:
+                others = committed.get(host_name, ())
+                return float(
+                    sum(1 for other in others if other not in related[task_id])
+                )
 
         # Step 4: Predict(task, Rj) for every feasible Rj, with the
         # in-round load of concurrent commitments added.
@@ -260,7 +451,10 @@ def select_hosts(
                 task=task.id, site=bid.site, hosts=bid.hosts,
                 predicted_time=bid.predicted_time,
             )
-        for host_name in bid.hosts:
-            committed.setdefault(host_name, []).append(task_id)
+        if ledger is not None:
+            ledger.commit(task_id, bid.hosts)
+        else:
+            for host_name in bid.hosts:
+                committed.setdefault(host_name, []).append(task_id)
         results[task.id] = bid
     return results

@@ -38,9 +38,11 @@ from inside simulated Site Manager processes.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+import repro.perf as perf
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.levels import compute_levels
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
@@ -48,6 +50,7 @@ from repro.afg.validate import validate_afg
 from repro.scheduler.allocation import AllocationTable, TaskAssignment
 from repro.scheduler.federation import FederationView
 from repro.scheduler.host_selection import (
+    CommitmentLedger,
     HostSelectionResult,
     _reachability,
     bid_for_task,
@@ -61,6 +64,21 @@ __all__ = ["SiteScheduler", "SchedulingError"]
 
 class SchedulingError(RuntimeError):
     """No feasible placement exists for some task."""
+
+
+class _MaxStr(str):
+    """String whose ordering is inverted, for max-heaps built on heapq.
+
+    ``max(ready, key=lambda t: (levels[t], t))`` breaks level ties by
+    the *largest* task id; a min-heap on ``(-level, _MaxStr(id))`` pops
+    exactly that element.  Ids are unique, so the comparison never
+    falls through to equality.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:  # pragma: no branch - trivial
+        return str.__gt__(self, other)
 
 
 @dataclass
@@ -155,7 +173,14 @@ class SiteScheduler:
 
         levels = compute_levels(afg, cost)
         related = _reachability(afg)
-        #: federation-wide in-round commitments: host -> task ids
+        #: federation-wide in-round commitments — an O(1)-query ledger
+        #: on the optimized path, the reference host -> task-ids dict
+        #: otherwise (the two agree bid for bid; see CommitmentLedger)
+        ledger: Optional[CommitmentLedger] = (
+            CommitmentLedger(related)
+            if perf.FLAGS.commit_ledger and self.account_commitments
+            else None
+        )
         committed: Dict[str, List[str]] = {}
 
         table = AllocationTable(afg.name, scheduler=self.name)
@@ -164,18 +189,28 @@ class SiteScheduler:
 
         # Step 6: ready set starts with the entry nodes.
         scheduled: Set[str] = set()
-        ready: List[str] = sorted(afg.entry_tasks())
+        ready: List = sorted(afg.entry_tasks())
+        # Heap-backed priority queue: each pop returns exactly
+        # max(ready, key=(level, id)) without the O(n) scan per task.
+        use_heap = self.use_level_priority and perf.FLAGS.commit_ledger
+        if use_heap:
+            ready_set: Set[str] = set(ready)
+            ready = [(-levels[t], _MaxStr(t)) for t in ready]
+            heapq.heapify(ready)
 
         # Step 7: walk the ready set in priority order.
         while ready:
-            if self.use_level_priority:
+            if use_heap:
+                task_id = str(heapq.heappop(ready)[1])
+                ready_set.discard(task_id)
+            elif self.use_level_priority:
                 task_id = max(ready, key=lambda t: (levels[t], t))
                 ready.remove(task_id)
             else:
                 task_id = ready.pop(0)  # FIFO ablation (E9)
             assignment = self._place_task(
                 afg, task_id, sites, view, site_by_task, committed, related,
-                health_of,
+                health_of, ledger,
             )
             if tracer.enabled:
                 tracer.emit(
@@ -195,18 +230,25 @@ class SiteScheduler:
                     "Predict(task, R) of the winning bid",
                 ).observe(assignment.predicted_time)
             table.assign(assignment)
-            for host_name in assignment.hosts:
-                committed.setdefault(host_name, []).append(task_id)
+            if ledger is not None:
+                ledger.commit(task_id, assignment.hosts)
+            else:
+                for host_name in assignment.hosts:
+                    committed.setdefault(host_name, []).append(task_id)
             site_by_task[task_id] = assignment.site
             placement_order.append(task_id)
             scheduled.add(task_id)
             for child in afg.children(task_id):
                 if (
                     child not in scheduled
-                    and child not in ready
+                    and (child not in ready_set if use_heap else child not in ready)
                     and all(p in scheduled for p in afg.parents(child))
                 ):
-                    ready.append(child)
+                    if use_heap:
+                        ready_set.add(child)
+                        heapq.heappush(ready, (-levels[child], _MaxStr(child)))
+                    else:
+                        ready.append(child)
 
         table.validate_against(afg)
         return table, placement_order
@@ -223,16 +265,20 @@ class SiteScheduler:
         committed: Dict[str, List[str]],
         related: Dict[str, Set[str]],
         health_of=None,
+        ledger: Optional[CommitmentLedger] = None,
     ) -> TaskAssignment:
         task = afg.task(task_id)
 
-        def extra_load_of(host_name: str) -> float:
-            if not self.account_commitments:
-                return 0.0
-            others = committed.get(host_name, ())
-            return float(
-                sum(1 for other in others if other not in related[task_id])
-            )
+        if ledger is not None:
+            extra_load_of = ledger.extra_load_fn(task_id)
+        else:
+            def extra_load_of(host_name: str) -> float:
+                if not self.account_commitments:
+                    return 0.0
+                others = committed.get(host_name, ())
+                return float(
+                    sum(1 for other in others if other not in related[task_id])
+                )
 
         bids: Dict[str, HostSelectionResult] = {}
         for site in sites:

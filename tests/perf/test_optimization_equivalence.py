@@ -1,0 +1,117 @@
+"""Per-flag behaviour equivalence, proven by the determinism oracles.
+
+The contract of every :mod:`repro.perf` flag is strict: a run with the
+optimization on must produce byte-identical ``trace_hash`` and metrics
+``snapshot_hash`` to the reference (all-off) run — "same behaviour,
+faster" as a testable property.  These tests run a full pipeline
+(monitoring + distributed scheduling + execution) per configuration
+and compare the oracles, per flag, across seeds.
+"""
+
+import pytest
+
+import repro.perf as perf
+from repro.metrics.registry import MetricsRegistry
+from repro.runtime import RuntimeConfig, VDCERuntime
+from repro.scheduler import SiteScheduler
+from repro.sim import TopologyBuilder
+from repro.trace.serialize import trace_hash
+from repro.trace.tracer import Tracer
+from repro.workloads import RandomDAGConfig, random_dag
+
+SEEDS = (0, 1, 2)
+
+
+def _run_pipeline(seed: int):
+    """One deterministic end-to-end run; returns (trace_hash, metrics_hash).
+
+    Small but wide enough to exercise every flagged path: host indexing
+    and Predict memoization in host selection, the commitment ledger in
+    the site scheduler's in-round accounting, and the monitor/echo
+    bookkeeping batching under active monitoring.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    builder = (
+        TopologyBuilder(seed=seed)
+        .lan_defaults(0.0005, 10.0)
+        .wan_defaults(0.03, 2.0)
+    )
+    speeds = (1.0, 2.0, 4.0)
+    for s in range(2):
+        builder.site(f"site-{s}", hosts=[
+            (f"s{s}-h{h}", speeds[(s + h) % len(speeds)], 256)
+            for h in range(3)
+        ])
+    rt = VDCERuntime(builder.build(), config=RuntimeConfig(),
+                     tracer=tracer, metrics=metrics)
+    rt.start_monitoring()
+    afg = random_dag(RandomDAGConfig(n_tasks=24, width=4, mean_cost=2.0,
+                                     ccr=0.4, seed=seed))
+
+    def pipeline():
+        table, _sched = yield from rt.schedule_process(
+            afg, SiteScheduler(k=1, model=rt.model), local_site="site-0"
+        )
+        result = yield rt.execute_process(
+            afg, table, submit_site="site-0", execute_payloads=False
+        )
+        return result
+
+    rt.sim.run_until_complete(rt.sim.process(pipeline()))
+    rt.export_metrics()
+    return trace_hash(tracer.events()), metrics.snapshot_hash()
+
+
+#: reference (all flags off) oracle pair, computed once per seed
+_REFERENCE = {}
+
+
+def _reference(seed: int):
+    if seed not in _REFERENCE:
+        with perf.use_flags(**perf.PerfFlags.all_off().as_dict()):
+            _REFERENCE[seed] = _run_pipeline(seed)
+    return _REFERENCE[seed]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("flag", perf.flag_names())
+def test_single_flag_matches_reference(flag, seed):
+    """Each optimization alone is behaviour-identical to the reference."""
+    ref_trace, ref_metrics = _reference(seed)
+    off = perf.PerfFlags.all_off().as_dict()
+    off[flag] = True
+    with perf.use_flags(**off):
+        opt_trace, opt_metrics = _run_pipeline(seed)
+    assert opt_trace == ref_trace, (
+        f"flag {flag!r} (seed {seed}) changed the event trace"
+    )
+    assert opt_metrics == ref_metrics, (
+        f"flag {flag!r} (seed {seed}) changed the metrics snapshot"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_flags_match_reference(seed):
+    """The production configuration (everything on) equals the reference."""
+    ref_trace, ref_metrics = _reference(seed)
+    with perf.use_flags(**perf.PerfFlags().as_dict()):
+        opt_trace, opt_metrics = _run_pipeline(seed)
+    assert (opt_trace, opt_metrics) == (ref_trace, ref_metrics)
+
+
+def test_flag_matrix_is_complete():
+    """Every PerfFlags field defaults on; all_off turns every one off."""
+    on = perf.PerfFlags().as_dict()
+    off = perf.PerfFlags.all_off().as_dict()
+    assert set(on) == set(off) == set(perf.flag_names())
+    assert all(on.values())
+    assert not any(off.values())
+
+
+def test_use_flags_restores_previous():
+    before = perf.FLAGS
+    with perf.use_flags(predict_cache=False) as flags:
+        assert not flags.predict_cache
+        assert perf.FLAGS is flags
+    assert perf.FLAGS is before

@@ -1,0 +1,161 @@
+"""PredictCache invalidation: a hit is always the model's own float.
+
+The cache's correctness story has two halves: every dynamic input is
+either part of the exact key (host name, reported load, available
+memory, in-round extra load) or covered by the task-performance DB's
+version counter (registration, calibration refinement).  These tests
+drive each half — workload churn, slowdown-fault calibration updates,
+quarantine/health changes — and require cached and uncached answers to
+agree bit-for-bit throughout.
+"""
+
+import repro.perf as perf
+from repro.afg import TaskNode, TaskProperties
+from repro.repository import SiteRepository
+from repro.repository.predict_cache import PredictCache
+from repro.repository.taskperf import TaskPerfRecord
+from repro.scheduler.host_selection import bid_for_task
+from repro.scheduler.prediction import PredictionModel
+from repro.sim.host import HostSpec
+
+TASK = "math.lu_decompose"
+
+
+def _repo(n_hosts=3):
+    repo = SiteRepository("cache-site")
+    for i in range(n_hosts):
+        name = f"c{i}"
+        repo.resources.register_host(
+            HostSpec(name=name, speed=1.0 + i, memory_mb=256))
+        repo.constraints.register(TASK, name, f"/bin/{name}")
+    repo.task_perf.register(TaskPerfRecord(
+        task_type=TASK, computation_size=2.0,
+        communication_size_mb=0.1, required_memory_mb=16))
+    return repo
+
+
+def _direct(model, repo, host_name, extra_load=0.0):
+    """The uncached answer for one host, straight from the model."""
+    return model.predict(TASK, 1.0, 1, repo.resources.get(host_name),
+                         repo.task_perf, memory_mb=None,
+                         extra_load=extra_load)
+
+
+def test_hit_is_bit_identical_and_counted():
+    repo = _repo()
+    model = PredictionModel()
+    cache = repo.predict_cache
+    record = repo.resources.get("c0")
+    first = cache.predict(model, TASK, 1.0, 1, record, None, 0.0)
+    second = cache.predict(model, TASK, 1.0, 1, record, None, 0.0)
+    assert first == second == _direct(model, repo, "c0")
+    assert cache.misses == 1 and cache.hits == 1
+    assert len(cache) == 1
+
+
+def test_load_change_is_a_new_key_never_a_stale_hit():
+    repo = _repo()
+    model = PredictionModel()
+    cache = repo.predict_cache
+    before = cache.predict(model, TASK, 1.0, 1,
+                           repo.resources.get("c0"), None, 0.0)
+    repo.resources.update_workload("c0", load=3.0,
+                                   available_memory_mb=128, time=1.0)
+    after = cache.predict(model, TASK, 1.0, 1,
+                          repo.resources.get("c0"), None, 0.0)
+    assert after == _direct(model, repo, "c0")
+    assert after != before  # the load genuinely moved the prediction
+    # and the old key still answers for the old state, bit-identically
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_calibration_refinement_invalidates_the_whole_cache():
+    """A slowdown fault shows up as measured >> expected; the resulting
+    record_execution bumps the version and must flush every entry."""
+    repo = _repo()
+    model = PredictionModel()
+    cache = repo.predict_cache
+    record = repo.resources.get("c0")
+    before = cache.predict(model, TASK, 1.0, 1, record, None, 0.0)
+    # the host ran 4x slower than predicted (a slowdown fault)
+    repo.task_perf.record_execution(TASK, "c0", expected_s=before,
+                                    measured_s=4.0 * before)
+    after = cache.predict(model, TASK, 1.0, 1, record, None, 0.0)
+    assert after == _direct(model, repo, "c0")
+    assert after != before
+    assert cache.hits == 0  # same key, but the flush forced a recompute
+
+
+def test_registration_invalidates():
+    repo = _repo()
+    model = PredictionModel()
+    cache = repo.predict_cache
+    cache.predict(model, TASK, 1.0, 1, repo.resources.get("c0"), None, 0.0)
+    assert len(cache) == 1
+    repo.task_perf.register(TaskPerfRecord(
+        task_type="signal.spectrum", computation_size=1.0,
+        communication_size_mb=0.1, required_memory_mb=8))
+    cache.predict(model, TASK, 1.0, 1, repo.resources.get("c1"), None, 0.0)
+    assert len(cache) == 1  # the pre-registration entry was flushed
+
+
+def test_quarantine_and_health_updates_need_no_invalidation():
+    """Health penalties multiply *after* prediction, so score updates
+    must flow through a warm cache: cached and uncached bids agree
+    before, during, and after a quarantine."""
+    repo = _repo()
+    model = PredictionModel()
+    node = TaskNode(id="t0", task_type=TASK, n_in_ports=0, n_out_ports=1,
+                    properties=TaskProperties())
+    factors = {"c0": 1.0, "c1": 1.0, "c2": 1.0}
+
+    def health_of(name):
+        return factors[name]
+
+    def both_bids():
+        with perf.use_flags(predict_cache=True):
+            cached = bid_for_task(node, repo, model, lambda _h: 0.0,
+                                  health_of=health_of)
+        with perf.use_flags(predict_cache=False):
+            reference = bid_for_task(node, repo, model, lambda _h: 0.0,
+                                     health_of=health_of)
+        return cached, reference
+
+    cached, reference = both_bids()
+    assert cached == reference
+    fastest = cached.primary_host
+    # penalize then quarantine the winner; the warm cache must follow
+    factors[fastest] = 10.0
+    cached, reference = both_bids()
+    assert cached == reference and cached.primary_host != fastest
+    factors[fastest] = None  # quarantined outright
+    cached, reference = both_bids()
+    assert cached == reference and fastest not in cached.hosts
+
+
+def test_int_and_float_extra_load_share_one_entry():
+    """The commit ledger's fast path hands out raw ints; int and float
+    loads hash equal and promote exactly, so both forms must map to the
+    same memo entry with the same float."""
+    repo = _repo()
+    model = PredictionModel()
+    cache = repo.predict_cache
+    record = repo.resources.get("c0")
+    as_int = cache.predict(model, TASK, 1.0, 1, record, None, 2)
+    as_float = cache.predict(model, TASK, 1.0, 1, record, None, 2.0)
+    assert as_int == as_float == _direct(model, repo, "c0", extra_load=2.0)
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_model_variants_never_collide():
+    repo = _repo()
+    exact = PredictionModel()
+    noisy = PredictionModel(noise=0.3, noise_seed=7)
+    cache = PredictCache(repo.task_perf)
+    record = repo.resources.get("c0")
+    a = cache.predict(exact, TASK, 1.0, 1, record, None, 0.0)
+    b = cache.predict(noisy, TASK, 1.0, 1, record, None, 0.0)
+    assert a != b
+    # switching back re-hits the first model's table
+    assert cache.predict(exact, TASK, 1.0, 1, record, None, 0.0) == a
+    assert cache.hits == 1

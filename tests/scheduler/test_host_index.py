@@ -1,0 +1,176 @@
+"""HostIndex equivalence: indexed candidates == reference scan, always.
+
+The equivalence argument (filtering commutes with sorting) is pinned
+here with randomized repositories: for any population of hosts,
+installed executables and up/down states — including after host
+registration, executable removal, workload churn and quarantine — the
+index must return exactly the reference path's answer in exactly its
+stable name order.
+"""
+
+import random
+
+import pytest
+
+import repro.perf as perf
+from repro.afg import TaskNode, TaskProperties
+from repro.repository import SiteRepository
+from repro.scheduler.host_selection import bid_for_task, candidate_hosts
+from repro.scheduler.prediction import PredictionModel
+from repro.sim.host import HostSpec
+
+TASK_TYPES = ("math.lu_decompose", "signal.spectrum", "image.convolve")
+
+
+def _reference_answer(repo, task_type):
+    """The pre-index implementation: linear scan, then name sort."""
+    return sorted(
+        (r for r in repo.resources.up_hosts()
+         if repo.constraints.is_runnable(task_type, r.name)),
+        key=lambda r: r.name,
+    )
+
+
+def _random_repo(rng, n_hosts):
+    repo = SiteRepository("prop-site")
+    for i in range(n_hosts):
+        name = f"h{i:03d}"
+        repo.resources.register_host(
+            HostSpec(name=name, speed=rng.choice((1.0, 2.0, 4.0)),
+                     memory_mb=rng.choice((128, 256)))
+        )
+        for task_type in TASK_TYPES:
+            if rng.random() < 0.7:
+                repo.constraints.register(task_type, name, f"/bin/{name}")
+        if rng.random() < 0.2:
+            repo.resources.mark_down(name, time=0.0)
+    return repo
+
+
+def _node(task_type, **props):
+    return TaskNode(id="t0", task_type=task_type, n_in_ports=0,
+                    n_out_ports=1, properties=TaskProperties(**props))
+
+
+def _mutate(rng, repo, step):
+    """One random repository mutation (the events that invalidate caches)."""
+    names = repo.resources.host_names()
+    kind = rng.randrange(4)
+    if kind == 0:  # register a brand-new host with some executables
+        name = f"new{step:03d}"
+        repo.resources.register_host(HostSpec(name=name, speed=2.0))
+        for task_type in TASK_TYPES:
+            if rng.random() < 0.7:
+                repo.constraints.register(task_type, name, f"/bin/{name}")
+    elif kind == 1:  # up/down transition
+        name = rng.choice(names)
+        if repo.resources.get(name).up:
+            repo.resources.mark_down(name, time=float(step))
+        else:
+            repo.resources.mark_up(name, time=float(step))
+    elif kind == 2:  # workload report (dynamic write, population unchanged)
+        name = rng.choice(names)
+        repo.resources.update_workload(
+            name, load=rng.random() * 4, available_memory_mb=64,
+            time=float(step),
+        )
+    else:  # decommission: drop every executable registered on one host
+        repo.constraints.remove_host(rng.choice(names))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_index_matches_reference_under_mutation(seed):
+    rng = random.Random(seed)
+    repo = _random_repo(rng, n_hosts=rng.randrange(4, 24))
+    for step in range(30):
+        task_type = rng.choice(TASK_TYPES)
+        expected = _reference_answer(repo, task_type)
+        got = repo.host_index.runnable_up_hosts(task_type)
+        assert got == expected, f"seed {seed} step {step} ({task_type})"
+        _mutate(rng, repo, step)
+    # and once more after the final mutation
+    for task_type in TASK_TYPES:
+        assert (repo.host_index.runnable_up_hosts(task_type)
+                == _reference_answer(repo, task_type))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_candidate_hosts_flag_equivalence(seed):
+    """candidate_hosts: indexed and reference paths agree, same order."""
+    rng = random.Random(100 + seed)
+    repo = _random_repo(rng, n_hosts=12)
+    nodes = [
+        _node(TASK_TYPES[0]),
+        _node(TASK_TYPES[1], preferred_machine="h003"),
+        _node(TASK_TYPES[2], preferred_machine_type="SUN solaris"),
+    ]
+    for node in nodes:
+        with perf.use_flags(host_index=True):
+            indexed = candidate_hosts(node, repo)
+        with perf.use_flags(host_index=False):
+            reference = candidate_hosts(node, repo)
+        assert indexed == reference
+        names = [r.name for r in indexed]
+        assert names == sorted(names)
+
+
+def test_candidate_hosts_sorted_order_invariant():
+    """The documented invariant: bids are built positionally from a
+    name-sorted candidate list, under either flag setting."""
+    repo = SiteRepository("order-site")
+    for name in ("zeta", "alpha", "mike", "bravo"):
+        repo.resources.register_host(HostSpec(name=name))
+        repo.constraints.register(TASK_TYPES[0], name, f"/bin/{name}")
+    node = _node(TASK_TYPES[0])
+    for host_index in (True, False):
+        with perf.use_flags(host_index=host_index):
+            names = [r.name for r in candidate_hosts(node, repo)]
+        assert names == ["alpha", "bravo", "mike", "zeta"]
+
+
+def test_quarantine_filter_does_not_corrupt_the_index_cache():
+    """bid_for_task removes quarantined hosts from its candidate list in
+    place; the index must hand out copies so the cached table survives."""
+    repo = SiteRepository("quarantine-site")
+    for name in ("qa", "qb", "qc"):
+        repo.resources.register_host(HostSpec(name=name))
+        repo.constraints.register("math.lu_decompose", name, f"/bin/{name}")
+    from repro.repository.taskperf import TaskPerfRecord
+
+    repo.task_perf.register(TaskPerfRecord(
+        task_type="math.lu_decompose", computation_size=1.0,
+        communication_size_mb=0.1, required_memory_mb=16))
+    node = _node("math.lu_decompose")
+    model = PredictionModel()
+
+    def quarantine_qb(name):
+        return None if name == "qb" else 1.0
+
+    with perf.use_flags(host_index=True, predict_cache=True):
+        bid = bid_for_task(node, repo, model, lambda _h: 0.0,
+                           health_of=quarantine_qb)
+        assert bid is not None and "qb" not in bid.hosts
+        # the quarantined host must still be in the (cached) table
+        names = [r.name for r in candidate_hosts(node, repo)]
+    assert names == ["qa", "qb", "qc"]
+
+
+def test_index_rebuilds_only_on_registration_changes():
+    repo = SiteRepository("rebuild-site")
+    for i in range(4):
+        name = f"r{i}"
+        repo.resources.register_host(HostSpec(name=name))
+        repo.constraints.register(TASK_TYPES[0], name, f"/bin/{name}")
+    repo.host_index.runnable_up_hosts(TASK_TYPES[0])
+    builds = repo.host_index.rebuilds
+    # dynamic writes refresh the record lists but not the name tables
+    repo.resources.update_workload("r1", load=2.0,
+                                   available_memory_mb=64, time=1.0)
+    repo.host_index.runnable_up_hosts(TASK_TYPES[0])
+    assert repo.host_index.rebuilds == builds
+    # a registration event does force a table rebuild
+    repo.resources.register_host(HostSpec(name="r9"))
+    repo.constraints.register(TASK_TYPES[0], "r9", "/bin/r9")
+    assert [r.name for r in repo.host_index.runnable_up_hosts(TASK_TYPES[0])] \
+        == ["r0", "r1", "r2", "r3", "r9"]
+    assert repo.host_index.rebuilds == builds + 1
