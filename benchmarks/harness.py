@@ -36,6 +36,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.metrics.registry import NULL_METRICS, MetricsRegistry
+from repro.obs.spans import SpanKind
 from repro.perf import FLAGS, PerfFlags, use_flags
 from repro.runtime import RuntimeConfig, VDCERuntime
 from repro.scheduler import SiteScheduler
@@ -52,6 +53,7 @@ __all__ = [
     "format_document",
     "run_all",
     "run_scenario",
+    "run_traced",
 ]
 
 #: schema version of the emitted document
@@ -59,6 +61,13 @@ SCHEMA = 1
 
 #: canonical scenario order (subset of benchmarks/ the trajectory tracks)
 SCENARIO_ORDER = ("end_to_end", "scalability", "host_selection")
+
+#: RuntimeConfig override for scenario deployments.  None (always, for
+#: the timed and hashed passes) means the stock ``RuntimeConfig()``;
+#: :func:`run_traced` sets it temporarily for span-enabled passes so the
+#: canonical workloads can be explained/profiled without touching the
+#: committed hashes.
+_SCENARIO_CONFIG: Optional[RuntimeConfig] = None
 
 
 def _runtime(n_sites: int, hosts_per_site: int, seed: int,
@@ -75,7 +84,8 @@ def _runtime(n_sites: int, hosts_per_site: int, seed: int,
             (f"s{s}-h{h:02d}", float(speeds[(s + h) % len(speeds)]), 256)
             for h in range(hosts_per_site)
         ])
-    return VDCERuntime(builder.build(), config=RuntimeConfig(),
+    return VDCERuntime(builder.build(),
+                       config=_SCENARIO_CONFIG or RuntimeConfig(),
                        tracer=tracer, metrics=metrics)
 
 
@@ -133,8 +143,22 @@ def _scenario_host_selection(tracer: Tracer, metrics: MetricsRegistry) -> Dict:
     repo = rt.repositories["site-0"]
     afg = random_dag(RandomDAGConfig(n_tasks=300, width=10, mean_cost=2.0,
                                      ccr=0.4, seed=1))
+    # placement-only scenario: wrap the selection in a manual root +
+    # schedule span so a span-enabled pass still yields an explainable
+    # window (dead branches on the default, spans-off passes)
+    sched_span = None
+    if rt.spans.enabled:
+        root = rt.spans.root_of(afg.name, source="bench:host_selection")
+        sched_span = rt.spans.open(
+            SpanKind.SCHEDULE, afg.name, parent=root,
+            source="bench:host_selection", site="site-0",
+        )
     results = select_hosts(afg, repo, model=rt.model,
                            tracer=tracer, metrics=metrics)
+    if sched_span is not None:
+        rt.spans.close(sched_span, source="bench:host_selection",
+                       tasks=len(results))
+        rt.spans.close_root(afg.name, source="bench:host_selection")
     return {"tasks": len(results), "rt": rt}
 
 
@@ -186,6 +210,28 @@ def run_scenario(name: str, repeats: int = 3) -> Dict:
         "trace_hash": trace_hash(tracer.events()),
         "metrics_hash": metrics.snapshot_hash(),
     }
+
+
+def run_traced(name: str, causal_spans: bool = False):
+    """One instrumented pass of a canonical scenario; returns its events.
+
+    With ``causal_spans`` the deployment runs under
+    ``RuntimeConfig(causal_spans=True)`` so the trace carries the full
+    span tree — the input for ``repro explain --scenario`` and the
+    ``repro bench --profile`` folded stacks.  This pass is separate from
+    (and never replaces) the hashed oracle pass: the committed
+    ``trace_hash``/``metrics_hash`` always come from the stock config.
+    """
+    global _SCENARIO_CONFIG
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    if causal_spans:
+        _SCENARIO_CONFIG = RuntimeConfig(causal_spans=True)
+    try:
+        SCENARIOS[name](tracer, metrics)
+    finally:
+        _SCENARIO_CONFIG = None
+    return tracer.events()
 
 
 def run_all(quick: bool = False, with_reference: bool = False,
@@ -275,6 +321,15 @@ def compare(previous: Dict, current: Dict, tolerance: float = TOLERANCE,
     by the caller; they are not failures (the trajectory grows).
     """
     problems: List[str] = []
+    for side, document in (("previous", previous), ("current", current)):
+        version = document.get("schema", SCHEMA)
+        if version != SCHEMA:
+            # refuse to compare across incompatible layouts — a silent
+            # field mismatch would read as a spurious pass or failure
+            return [
+                f"{side} document has schema {version!r}; this harness "
+                f"compares schema {SCHEMA} documents only"
+            ]
     prev_scenarios = previous.get("scenarios", {})
     cur_scenarios = current.get("scenarios", {})
     for name in (n for n in SCENARIO_ORDER if n in prev_scenarios):

@@ -13,6 +13,10 @@ Commands:
 * ``analyze <trace> [<trace2>]`` — the trace-analysis toolkit: critical
   path, per-host utilization, schedule lag; with two traces, the
   structural diff (first divergent event + per-kind count deltas);
+* ``explain <trace>`` — the attribution engine: rebuild the causal span
+  tree from a ``--spans`` trace (or re-run a bench scenario with spans
+  on), print the per-application wait-state breakdown, critical path
+  and top-k slow tasks/hosts, and hash the canonical report;
 * ``experiments`` — print the experiment index (DESIGN.md §4) and the
   bench command that regenerates each one;
 * ``bench`` — run the benchmark trajectory (wall time + determinism
@@ -118,8 +122,17 @@ def cmd_run(args) -> int:
 
     tracer = Tracer() if args.trace else NULL_TRACER
     metrics = MetricsRegistry() if args.metrics else NULL_METRICS
+    kwargs = {}
+    if args.spans:
+        if not args.trace:
+            print("error: --spans needs --trace (spans live in the trace)")
+            return 1
+        from repro.runtime.vdce_runtime import RuntimeConfig
+
+        kwargs["runtime_config"] = RuntimeConfig(causal_spans=True)
     env = VDCE.standard(n_sites=args.sites, hosts_per_site=args.hosts,
-                        seed=args.seed, tracer=tracer, metrics=metrics)
+                        seed=args.seed, tracer=tracer, metrics=metrics,
+                        **kwargs)
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
@@ -335,6 +348,133 @@ def cmd_analyze(args) -> int:
     return 0 if structural_diff(events, events2)["identical"] else 2
 
 
+def _import_harness():
+    import os
+
+    try:
+        from benchmarks import harness
+    except ImportError:
+        sys.path.insert(0, os.getcwd())
+        from benchmarks import harness
+    return harness
+
+
+def cmd_explain(args) -> int:
+    """Attribute an application's wall time from its causal span trace."""
+    import json as _json
+
+    from repro.obs.attribution import (
+        CATEGORIES, explain, report_hash, report_to_json,
+    )
+    from repro.obs.profile import folded_stacks, format_folded
+    from repro.trace.serialize import read_jsonl
+
+    if (args.trace is None) == (args.scenario is None):
+        print("error: give a trace file OR --scenario, not both/neither")
+        return 1
+    if args.scenario is not None:
+        try:
+            harness = _import_harness()
+        except ImportError:
+            print("error: cannot import benchmarks.harness — run 'repro "
+                  "explain --scenario' from the repository root")
+            return 1
+        if args.scenario not in harness.SCENARIOS:
+            print(f"error: unknown scenario {args.scenario!r} "
+                  f"(try: {', '.join(harness.SCENARIO_ORDER)})")
+            return 1
+        events = harness.run_traced(args.scenario, causal_spans=True)
+        source = f"scenario {args.scenario}"
+    else:
+        try:
+            events = read_jsonl(args.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace {args.trace}: {exc}")
+            return 1
+        source = args.trace
+
+    report = explain(events, top=args.top)
+    if not report["apps"]:
+        print(f"no causal spans in {source} — record the trace with "
+              "spans enabled (run/chaos/resume --spans, bench --profile)")
+        return 1
+
+    print(f"causal-span attribution — {source}")
+    failed = False
+    for app in sorted(report["apps"]):
+        info = report["apps"][app]
+        wall = info["wall_s"]
+        print(f"\napplication {app!r}: wall {wall:.3f}s "
+              f"over {info['windows']} window(s)")
+        for category in CATEGORIES:
+            value = info["breakdown"][category]
+            if value <= 0:
+                continue
+            share = value / wall if wall > 0 else 0.0
+            print(f"  {category:<12} {value:10.3f}s  {share:6.1%}")
+        if abs(info["breakdown_residual_s"]) > 1e-6:
+            failed = True
+            print(f"  BREAKDOWN MISMATCH: categories sum to "
+                  f"{wall - info['breakdown_residual_s']:.9f}s, "
+                  f"wall is {wall:.9f}s")
+        steps = [
+            step["span"] + (f"[{step['task']}]" if step.get("task") else "")
+            for step in info["critical_path"]
+        ]
+        print(f"  critical path: {' -> '.join(steps)}")
+        if info["top_tasks"]:
+            rendered = ", ".join(
+                f"{t['task']} {t['wall_s']:.3f}s" for t in info["top_tasks"]
+            )
+            print(f"  slowest tasks: {rendered}")
+    if report["top_hosts"]:
+        rendered = ", ".join(
+            f"{h['host']} {h['execute_s']:.3f}s" for h in report["top_hosts"]
+        )
+        print(f"\nbusiest hosts (execute time): {rendered}")
+
+    violations = report["integrity"]["violations"]
+    if violations:
+        failed = True
+        print(f"\n{len(violations)} span-integrity violation(s):")
+        for violation in violations:
+            print(f"  {violation}")
+    if report["integrity"]["orphaned_spans"]:
+        print(f"\n{report['integrity']['orphaned_spans']} span(s) "
+              "orphan-marked (crash/abandon) — expected under faults")
+
+    digest = report_hash(report)
+    print(f"\nreport hash: {digest}")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report_to_json(report))
+        except OSError as exc:
+            print(f"error: cannot write report to {args.json}: {exc}")
+            return 1
+        print(f"report written to {args.json}")
+    if args.hashes:
+        try:
+            with open(args.hashes, "w", encoding="utf-8") as fh:
+                _json.dump({"report": digest}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write hash to {args.hashes}: {exc}")
+            return 1
+        print(f"report hash written to {args.hashes}")
+    if args.profile:
+        stacks = folded_stacks(events)
+        try:
+            with open(args.profile, "w", encoding="utf-8") as fh:
+                fh.write(format_folded(stacks))
+        except OSError as exc:
+            print(f"error: cannot write profile to {args.profile}: {exc}")
+            return 1
+        print(f"folded-stack profile ({len(stacks)} stacks) written to "
+              f"{args.profile} — load it in speedscope.app")
+    return 2 if failed else 0
+
+
 def cmd_topology(args) -> int:
     from repro import VDCE
     from repro.viz import topology_diagram
@@ -480,13 +620,36 @@ def cmd_resume(args) -> int:
 
     from repro.runtime.checkpoint import final_output_hashes, resume_run
 
+    tracer = None
+    runtime_config = None
+    if args.trace:
+        from repro.trace.tracer import Tracer
+
+        tracer = Tracer()
+    if args.spans:
+        from repro.runtime.vdce_runtime import RuntimeConfig
+
+        if tracer is None:
+            print("error: --spans needs --trace (spans live in the trace)")
+            return 1
+        runtime_config = RuntimeConfig(causal_spans=True)
     try:
         _env, result = resume_run(
-            args.directory, submit_site=args.site, limit=args.limit
+            args.directory, submit_site=args.site, limit=args.limit,
+            tracer=tracer, runtime_config=runtime_config,
         )
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: cannot resume from {args.directory}: {exc}")
         return 1
+    if args.trace:
+        from repro.trace.serialize import write_jsonl
+
+        try:
+            write_jsonl(tracer, args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}")
+            return 1
+        print(f"resume trace written to {args.trace}")
     hashes = final_output_hashes(result)
     print(f"application {result.application!r} resumed and completed: "
           f"{len(result.records)} tasks, "
@@ -561,8 +724,14 @@ def cmd_chaos(args) -> int:
             speculation=args.speculation,
             health=args.health,
         )
+    if args.spans:
+        from dataclasses import replace
 
-    report = run_campaign(config)
+        config = replace(config, causal_spans=True)
+
+    report = run_campaign(config, trace_path=args.trace)
+    if args.trace:
+        print(f"campaign trace written to {args.trace}")
     print(f"chaos campaign (seed={config.seed}): "
           f"{len(report.outcomes)} applications, "
           f"{report.injection_events} fault events, "
@@ -625,20 +794,15 @@ def cmd_chaos(args) -> int:
 def cmd_bench(args) -> int:
     """Run the benchmark trajectory harness (benchmarks/harness.py)."""
     import json as _json
-    import os
 
     try:
-        from benchmarks import harness
-    except ImportError:
         # benchmarks/ is a repo-root package, not an installed one;
         # running from anywhere inside a checkout still works
-        sys.path.insert(0, os.getcwd())
-        try:
-            from benchmarks import harness
-        except ImportError:
-            print("error: cannot import benchmarks.harness — run 'repro "
-                  "bench' from the repository root")
-            return 1
+        harness = _import_harness()
+    except ImportError:
+        print("error: cannot import benchmarks.harness — run 'repro "
+              "bench' from the repository root")
+        return 1
 
     document = harness.run_all(
         quick=args.quick,
@@ -661,6 +825,23 @@ def cmd_bench(args) -> int:
             print(f"error: cannot write bench document to {args.out}: {exc}")
             return 1
         print(f"\nbench document written to {args.out}")
+    if args.profile:
+        # a separate spans-on pass per scenario: the timed/hashed passes
+        # above never see spans, so the document's hashes are untouched
+        from repro.obs.profile import folded_stacks, format_folded
+
+        stacks = {}
+        for name in harness.SCENARIO_ORDER:
+            events = harness.run_traced(name, causal_spans=True)
+            stacks.update(folded_stacks(events, prefix=name))
+        try:
+            with open(args.profile, "w", encoding="utf-8") as fh:
+                fh.write(format_folded(stacks))
+        except OSError as exc:
+            print(f"error: cannot write profile to {args.profile}: {exc}")
+            return 1
+        print(f"folded-stack profile ({len(stacks)} stacks) written to "
+              f"{args.profile} — load it in speedscope.app")
     if args.compare:
         try:
             with open(args.compare, encoding="utf-8") as fh:
@@ -713,6 +894,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="PATH",
                      help="record a structured event trace to PATH (JSONL) "
                           "and print its summary + content hash")
+    run.add_argument("--spans", action="store_true",
+                     help="with --trace: record causal spans too, for "
+                          "'repro explain'")
     run.add_argument("--metrics", metavar="PATH",
                      help="record a metrics snapshot to PATH (canonical "
                           "JSON) and print its content hash")
@@ -745,6 +929,25 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--sites", type=int, default=2)
     met.add_argument("--hosts", type=int, default=3)
     met.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser(
+        "explain",
+        help="attribute an application's time from its causal span trace")
+    explain.add_argument("trace", nargs="?",
+                         help="JSONL trace recorded with --spans")
+    explain.add_argument("--scenario",
+                         help="instead of a trace file: re-run this bench "
+                              "scenario with spans on and explain it")
+    explain.add_argument("--top", type=int, default=5,
+                         help="how many slow tasks / busy hosts to list")
+    explain.add_argument("--json", metavar="PATH",
+                         help="write the canonical attribution report "
+                              "(JSON) to PATH")
+    explain.add_argument("--hashes", metavar="PATH",
+                         help="write the report hash (JSON) to PATH")
+    explain.add_argument("--profile", metavar="PATH",
+                         help="write the span self-time profile to PATH "
+                              "as speedscope-compatible folded stacks")
 
     ana = sub.add_parser("analyze",
                          help="analyze a saved trace, or diff two")
@@ -790,6 +993,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the full campaign report (JSON) to PATH")
     chaos.add_argument("--hashes", metavar="PATH",
                        help="write the trace/metrics/campaign hashes to PATH")
+    chaos.add_argument("--spans", action="store_true",
+                       help="record causal spans and audit the I9 span "
+                            "integrity invariant")
+    chaos.add_argument("--trace", metavar="PATH",
+                       help="write the campaign's event trace (JSONL) to "
+                            "PATH — with --spans, feed it to 'repro explain'")
 
     bench = sub.add_parser(
         "bench",
@@ -818,6 +1027,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "fixed baseline, with speedup_vs_baseline")
     bench.add_argument("--label", default="BENCH_6",
                        help="document label (the committed file's stem)")
+    bench.add_argument("--profile", metavar="PATH",
+                       help="also run every scenario with causal spans on "
+                            "and write the span self-time profile to PATH "
+                            "(speedscope-compatible folded stacks); the "
+                            "document's hashes are unaffected")
 
     sub.add_parser("experiments", help="print the experiment index")
 
@@ -838,6 +1052,12 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--hashes", metavar="PATH",
                         help="write the resumed run's terminal output "
                              "hashes (JSON) to PATH")
+    resume.add_argument("--trace", metavar="PATH",
+                        help="record the resumed run's event trace (JSONL) "
+                             "to PATH")
+    resume.add_argument("--spans", action="store_true",
+                        help="with --trace: record causal spans too, for "
+                             "'repro explain'")
 
     sub.add_parser("selftest", help="quick end-to-end health check")
     sub.add_parser("verify", help="alias for selftest")
@@ -859,6 +1079,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "monitor": cmd_monitor,
         "metrics": cmd_metrics,
         "analyze": cmd_analyze,
+        "explain": cmd_explain,
         "bench": cmd_bench,
         "chaos": cmd_chaos,
         "topology": cmd_topology,

@@ -18,6 +18,7 @@ from repro.metrics.analysis import (
     structural_diff,
 )
 from repro.metrics.export import (
+    METRICS_SCHEMA_VERSION,
     load_snapshot,
     prometheus_from_snapshot,
     prometheus_text,
@@ -62,6 +63,7 @@ from repro.metrics.trace_summary import (
 
 __all__ = [
     "Counter",
+    "METRICS_SCHEMA_VERSION",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",

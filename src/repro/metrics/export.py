@@ -27,6 +27,7 @@ from repro.metrics.registry import (
 )
 
 __all__ = [
+    "METRICS_SCHEMA_VERSION",
     "prometheus_from_snapshot",
     "prometheus_text",
     "registry_snapshot",
@@ -35,6 +36,12 @@ __all__ = [
     "load_snapshot",
     "save_snapshot",
 ]
+
+#: version of the snapshot-file layout.  Carried in the file and
+#: checked by :func:`load_snapshot`; deliberately *excluded* from
+#: :func:`snapshot_hash` so stamping it never invalidated committed
+#: behaviour hashes.
+METRICS_SCHEMA_VERSION = 1
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -56,6 +63,7 @@ def _parse_labels_id(labels_id: str) -> List[Tuple[str, str]]:
 def registry_snapshot(registry: MetricsRegistry) -> Dict[str, Any]:
     """Plain-dict snapshot: every family, every label set, sorted."""
     snap: Dict[str, Any] = {
+        "schema_version": METRICS_SCHEMA_VERSION,
         "counters": {},
         "gauges": {},
         "histograms": {},
@@ -108,8 +116,13 @@ def snapshot_to_json(snapshot: Dict[str, Any]) -> str:
 
 
 def snapshot_hash(snapshot: Dict[str, Any]) -> str:
-    """SHA-256 over the canonical JSON — the snapshot's stable identity."""
-    return hashlib.sha256(snapshot_to_json(snapshot).encode("utf-8")).hexdigest()
+    """SHA-256 over the canonical JSON — the snapshot's stable identity.
+
+    The ``schema_version`` stamp describes the *file layout*, not the
+    run's behaviour, so it is dropped before hashing.
+    """
+    hashed = {k: v for k, v in snapshot.items() if k != "schema_version"}
+    return hashlib.sha256(snapshot_to_json(hashed).encode("utf-8")).hexdigest()
 
 
 def save_snapshot(
@@ -127,6 +140,12 @@ def save_snapshot(
 def load_snapshot(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as fh:
         snapshot = json.load(fh)
+    version = snapshot.get("schema_version", METRICS_SCHEMA_VERSION)
+    if version != METRICS_SCHEMA_VERSION:
+        raise ValueError(
+            f"metrics snapshot schema_version {version!r} is not supported "
+            f"(this build reads version {METRICS_SCHEMA_VERSION})"
+        )
     for section in ("counters", "gauges", "histograms", "series"):
         snapshot.setdefault(section, {})
     return snapshot

@@ -29,6 +29,7 @@ import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.sim.kernel import AnyOf, Simulator, Timeout
 from repro.sim.network import LinkDownError, Network
 from repro.trace.events import EventKind
@@ -109,6 +110,35 @@ class RetryPolicy:
         return base * (1.0 + self.jitter_frac * float(u))
 
 
+def _with_span_context(spans: SpanRecorder, ctx, gen):
+    """Drive a handler generator with ``ctx`` as ambient span context.
+
+    The ambient stack must only hold ``ctx`` during the handler's
+    *synchronous* segments: while the handler is suspended at a yield,
+    other simulated processes run and must not inherit its context.  So
+    instead of ``yield from gen`` we advance ``gen`` step by step,
+    pushing before and popping after every resume.
+    """
+    send_value = None
+    thrown = None
+    while True:
+        spans.push(ctx)
+        try:
+            if thrown is not None:
+                exc, thrown = thrown, None
+                item = gen.throw(exc)
+            else:
+                item = gen.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        finally:
+            spans.pop()
+        try:
+            send_value = yield item
+        except BaseException as exc:  # forwarded into the handler
+            thrown = exc
+
+
 class ControlPlane:
     """Request/reply and notification messaging for one deployment.
 
@@ -125,12 +155,14 @@ class ControlPlane:
         stats=None,
         policy: RetryPolicy = RetryPolicy(),
         tracer: Tracer = NULL_TRACER,
+        spans: SpanRecorder = NULL_SPANS,
     ):
         self.sim = sim
         self.network = network
         self.stats = stats
         self.policy = policy
         self.tracer = tracer
+        self.spans = spans
 
     # -- request/reply -----------------------------------------------------
 
@@ -146,6 +178,7 @@ class ControlPlane:
         transport: str = "transfer",
         on_send: Optional[Callable[[int], None]] = None,
         on_reply: Optional[Callable[[int], None]] = None,
+        span=None,
     ):
         """Round-trip RPC generator; returns ``handler()``'s value.
 
@@ -159,7 +192,12 @@ class ControlPlane:
         signalling, e.g. channel setup).  ``on_send`` / ``on_reply`` run
         once per attempt whose request/reply message is actually put on
         the wire — the hook point for per-message counters and trace
-        events.
+        events.  ``span`` is an optional parent
+        :class:`~repro.obs.spans.SpanContext`: when causal spans are
+        enabled the whole request becomes an ``rpc`` span under it, with
+        one ``rpc_attempt`` child per attempt (ambient at the
+        destination while the handler runs, so server-side spans parent
+        correctly) and a ``retry_backoff`` child per backoff pause.
 
         Raises :class:`RpcTimeout` when every attempt fails.
         """
@@ -167,8 +205,22 @@ class ControlPlane:
         src_site = self.network.site_of(src_host)
         dst_site = self.network.site_of(dst_host)
         rng = self.sim.rng(f"rpc:{src_site}->{dst_site}")
+        spans = self.spans
+        rpc_span = None
+        if spans.enabled and span is not None and span.span_id >= 0:
+            rpc_span = spans.open(
+                SpanKind.RPC, span.app, parent=span,
+                source=f"rpc:{src_site}", label=label, dst=dst_site,
+            )
+        rpc_source = f"rpc:{src_site}"
         for attempt in range(1, policy.max_attempts + 1):
             started = self.sim.now
+            attempt_span = None
+            if rpc_span is not None:
+                attempt_span = spans.open(
+                    SpanKind.RPC_ATTEMPT, rpc_span.app, parent=rpc_span,
+                    source=rpc_source, label=label, attempt=attempt,
+                )
             if on_send is not None:
                 on_send(attempt)
             delivered = yield from self._leg(
@@ -177,9 +229,20 @@ class ControlPlane:
             )
             if delivered:
                 try:
-                    value = handler()
-                    if inspect.isgenerator(value):
-                        value = yield from value
+                    if attempt_span is not None:
+                        spans.push(attempt_span)
+                        try:
+                            value = handler()
+                        finally:
+                            spans.pop()
+                        if inspect.isgenerator(value):
+                            value = yield from _with_span_context(
+                                spans, attempt_span, value
+                            )
+                    else:
+                        value = handler()
+                        if inspect.isgenerator(value):
+                            value = yield from value
                 except ManagerUnavailable:
                     # the destination manager is crashed: no reply ever
                     # comes back, exactly like a lost datagram — burn the
@@ -196,7 +259,14 @@ class ControlPlane:
                         policy, rng, started, transport,
                     )
                     if acked:
+                        if attempt_span is not None:
+                            spans.close(attempt_span, source=rpc_source)
+                            spans.close(
+                                rpc_span, source=rpc_source, attempts=attempt
+                            )
                         return value
+            if attempt_span is not None:
+                spans.close(attempt_span, source=rpc_source, status="failed")
             if self.stats is not None:
                 self.stats.rpc_retries += 1
             if self.tracer.enabled:
@@ -205,7 +275,21 @@ class ControlPlane:
                     label=label, attempt=attempt, dst=dst_site,
                 )
             if attempt < policy.max_attempts:
-                yield Timeout(policy.backoff(attempt, float(rng.uniform())))
+                delay = policy.backoff(attempt, float(rng.uniform()))
+                if rpc_span is not None:
+                    backoff_span = spans.open(
+                        SpanKind.RETRY_BACKOFF, rpc_span.app, parent=rpc_span,
+                        source=rpc_source, label=label, attempt=attempt,
+                    )
+                    yield Timeout(delay)
+                    spans.close(backoff_span, source=rpc_source)
+                else:
+                    yield Timeout(delay)
+        if rpc_span is not None:
+            spans.close(
+                rpc_span, source=rpc_source, status="timeout",
+                attempts=policy.max_attempts,
+            )
         if self.stats is not None:
             self.stats.rpc_timeouts += 1
         if self.tracer.enabled:

@@ -1,0 +1,388 @@
+"""Attribution: from a span trace to "why was this application slow?".
+
+Rebuilds the span forest from the paired ``span_open`` / ``span_close``
+(/ ``span_orphan``) trace events, then answers three questions per
+application:
+
+* **Wait-state breakdown** — every instant of the application's wall
+  time is assigned to exactly one category (queue, scheduling, staging,
+  execution, retry, speculation, or other) by an elementary-interval
+  sweep over the root window: the category intervals of every
+  descendant span are clamped to the window, boundaries partition it
+  into elementary segments, and each segment takes the highest-priority
+  category active on it.  The partition is exact by construction, so
+  the per-category sums always add up to the window's wall time — the
+  report records the residual and the CLI enforces it at 1e-6.
+* **Critical path** — the chain of spans that determined the finish
+  time: from the root, repeatedly descend into the child that closed
+  last (ties broken by smaller span id, deterministically).
+* **Top-k** — slowest tasks by task-span duration, and busiest hosts by
+  summed execute-span time.
+
+Everything is computed on the virtual clock from the trace alone, with
+no RNG and no wall-clock reads, and the report is canonical JSON
+(sorted keys, 9-decimal rounding) hashed with sha256 — two runs of the
+same seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.spans import SpanKind
+from repro.trace.events import EventKind, TraceEvent
+
+__all__ = [
+    "ATTRIBUTION_SCHEMA_VERSION",
+    "SpanNode",
+    "build_forest",
+    "explain",
+    "report_hash",
+    "report_to_json",
+    "span_integrity",
+]
+
+#: version stamp of the explain report layout
+ATTRIBUTION_SCHEMA_VERSION = 1
+
+#: span kind -> wait-state category; None marks container spans whose
+#: time is attributed through their children
+CATEGORY: Dict[str, Optional[str]] = {
+    SpanKind.APP: None,
+    SpanKind.TASK: None,
+    SpanKind.COLLECT: None,
+    SpanKind.RESUME: None,
+    SpanKind.FAILOVER: None,
+    SpanKind.ADMISSION_WAIT: "queue",
+    SpanKind.SCHEDULE: "scheduling",
+    SpanKind.BID_EXCHANGE: "scheduling",
+    SpanKind.ALLOCATION: "scheduling",
+    SpanKind.SM_FANOUT: "scheduling",
+    SpanKind.CHANNEL_SETUP: "scheduling",
+    SpanKind.RPC: "scheduling",
+    SpanKind.RPC_ATTEMPT: "scheduling",
+    SpanKind.RETRY_BACKOFF: "retry",
+    SpanKind.RESCHEDULE: "retry",
+    SpanKind.INPUT_WAIT: "staging",
+    SpanKind.STAGE_IN: "staging",
+    SpanKind.STAGE_OUT: "staging",
+    SpanKind.EXECUTE: "execution",
+    SpanKind.SPECULATE_BACKUP: "speculation",
+}
+
+#: when several categories are active on one elementary segment, the
+#: highest-priority one owns it (earlier = higher)
+PRIORITY: Tuple[str, ...] = (
+    "execution", "staging", "retry", "speculation", "scheduling", "queue",
+)
+
+#: every category a breakdown reports, in canonical order
+CATEGORIES: Tuple[str, ...] = PRIORITY + ("other",)
+
+_SPAN_KINDS = frozenset(
+    (EventKind.SPAN_OPEN, EventKind.SPAN_CLOSE, EventKind.SPAN_ORPHAN)
+)
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span."""
+
+    span_id: int
+    kind: str
+    app: str
+    parent_id: Optional[int]
+    open_time: float
+    close_time: Optional[float] = None
+    status: str = ""
+    orphaned: bool = False
+    unclosed: bool = False
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        end = self.close_time if self.close_time is not None else self.open_time
+        return max(0.0, end - self.open_time)
+
+    @property
+    def end(self) -> float:
+        return self.close_time if self.close_time is not None else self.open_time
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_forest(events: Iterable[TraceEvent]) -> List[SpanNode]:
+    """Span forest from a trace; unclosed spans are closed at trace end.
+
+    Returns the root nodes (spans with no parent) in open order.
+    Children are sorted by (open_time, span_id), so the forest is
+    deterministic regardless of event interleaving.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    last_time = 0.0
+    for event in events:
+        last_time = max(last_time, event.time)
+        if event.kind not in _SPAN_KINDS:
+            continue
+        data = event.data
+        span_id = int(data["span_id"])
+        if event.kind == EventKind.SPAN_OPEN:
+            parent_id = data.get("parent_id")
+            attrs = {
+                k: v for k, v in data.items()
+                if k not in ("span", "span_id", "parent_id", "application")
+            }
+            nodes[span_id] = SpanNode(
+                span_id=span_id,
+                kind=str(data.get("span", "")),
+                app=str(data.get("application", "")),
+                parent_id=int(parent_id) if parent_id is not None else None,
+                open_time=event.time,
+                attrs=attrs,
+            )
+        elif span_id in nodes:
+            node = nodes[span_id]
+            if node.close_time is None:
+                node.close_time = event.time
+                if event.kind == EventKind.SPAN_ORPHAN:
+                    node.orphaned = True
+                    node.status = str(data.get("reason", "orphaned"))
+                else:
+                    node.status = str(data.get("status", "ok"))
+    roots: List[SpanNode] = []
+    for span_id in sorted(nodes):
+        node = nodes[span_id]
+        if node.close_time is None:
+            node.close_time = last_time
+            node.unclosed = True
+            node.status = "unclosed"
+        parent = nodes.get(node.parent_id) if node.parent_id is not None else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.open_time, n.span_id))
+    return roots
+
+
+def span_integrity(events: Iterable[TraceEvent]) -> List[str]:
+    """Span-pairing violations in a trace; empty list means clean.
+
+    The chaos invariant I9: every ``span_open`` is matched by exactly
+    one ``span_close`` *or* one explicit ``span_orphan``, never both,
+    never more than one, and never a close/orphan without an open.
+    """
+    violations: List[str] = []
+    state: Dict[int, str] = {}  # span_id -> "open" | "closed" | "orphaned"
+    for event in events:
+        if event.kind not in _SPAN_KINDS:
+            continue
+        span_id = int(event.data["span_id"])
+        kind = str(event.data.get("span", "?"))
+        if event.kind == EventKind.SPAN_OPEN:
+            if span_id in state:
+                violations.append(f"span {span_id} ({kind}) opened twice")
+            state[span_id] = "open"
+        else:
+            verb = (
+                "closed" if event.kind == EventKind.SPAN_CLOSE else "orphaned"
+            )
+            prior = state.get(span_id)
+            if prior is None:
+                violations.append(
+                    f"span {span_id} ({kind}) {verb} without an open"
+                )
+            elif prior != "open":
+                violations.append(
+                    f"span {span_id} ({kind}) {verb} after already {prior}"
+                )
+            state[span_id] = verb
+    for span_id, prior in sorted(state.items()):
+        if prior == "open":
+            violations.append(
+                f"span {span_id} never closed and never orphan-marked"
+            )
+    return violations
+
+
+# -- the wait-state sweep --------------------------------------------------
+
+def _sweep(window: Tuple[float, float],
+           intervals: List[Tuple[float, float, str]]) -> Dict[str, float]:
+    """Exact partition of ``window`` over categories.
+
+    ``intervals`` are (start, end, category); they are clamped to the
+    window, boundaries split it into elementary segments, and each
+    segment is charged to the highest-priority active category (or
+    ``other`` when none is active).  The returned sums add up to
+    exactly ``window[1] - window[0]`` up to float associativity.
+    """
+    w0, w1 = window
+    out = {c: 0.0 for c in CATEGORIES}
+    if w1 <= w0:
+        return out
+    clamped = []
+    points = {w0, w1}
+    for start, end, category in intervals:
+        start, end = max(start, w0), min(end, w1)
+        if end <= start:
+            continue
+        clamped.append((start, end, category))
+        points.add(start)
+        points.add(end)
+    rank = {c: i for i, c in enumerate(PRIORITY)}
+    bounds = sorted(points)
+    for left, right in zip(bounds, bounds[1:]):
+        mid_best: Optional[str] = None
+        for start, end, category in clamped:
+            if start <= left and end >= right:
+                if mid_best is None or rank[category] < rank[mid_best]:
+                    mid_best = category
+        out[mid_best if mid_best is not None else "other"] += right - left
+    return out
+
+
+def _category_intervals(root: SpanNode) -> List[Tuple[float, float, str]]:
+    intervals = []
+    for node in root.walk():
+        category = CATEGORY.get(node.kind)
+        if category is not None and node.end > node.open_time:
+            intervals.append((node.open_time, node.end, category))
+    return intervals
+
+
+def _critical_path(root: SpanNode) -> List[Dict[str, Any]]:
+    """The chain of spans that determined the root's finish time."""
+    path = []
+    node = root
+    while True:
+        path.append({
+            "span": node.kind,
+            "span_id": node.span_id,
+            "task": node.attrs.get("task"),
+            "open": node.open_time,
+            "close": node.end,
+            "duration_s": node.duration,
+        })
+        if not node.children:
+            return path
+        node = max(node.children, key=lambda n: (n.end, -n.span_id))
+
+
+# -- the report ------------------------------------------------------------
+
+def explain(events: Iterable[TraceEvent], top: int = 5) -> Dict[str, Any]:
+    """The full attribution report for one trace.
+
+    Per application: wall time (summed over its root windows — a
+    checkpoint-restarted application has one window per incarnation),
+    the wait-state breakdown, the span-level critical path of the last
+    window, per-task breakdowns, and top-``top`` slow tasks.  Globally:
+    top hosts by execute time and the span-integrity summary.
+    """
+    events = list(events)
+    roots = build_forest(events)
+    app_roots: Dict[str, List[SpanNode]] = {}
+    for root in roots:
+        if root.kind == SpanKind.APP:
+            app_roots.setdefault(root.app, []).append(root)
+
+    apps: Dict[str, Any] = {}
+    host_execute: Dict[str, float] = {}
+    for app, windows in sorted(app_roots.items()):
+        breakdown = {c: 0.0 for c in CATEGORIES}
+        wall = 0.0
+        tasks: Dict[str, Any] = {}
+        for root in windows:
+            wall += root.duration
+            swept = _sweep(
+                (root.open_time, root.end), _category_intervals(root)
+            )
+            for category, value in swept.items():
+                breakdown[category] += value
+            for node in root.walk():
+                if node.kind == SpanKind.TASK:
+                    task_id = str(node.attrs.get("task", node.span_id))
+                    t_swept = _sweep(
+                        (node.open_time, node.end),
+                        _category_intervals(node),
+                    )
+                    tasks[task_id] = {
+                        "wall_s": node.duration,
+                        "site": node.attrs.get("site"),
+                        "hosts": node.attrs.get("hosts"),
+                        "status": node.status,
+                        "breakdown": t_swept,
+                    }
+                elif node.kind == SpanKind.EXECUTE:
+                    host = node.attrs.get("host")
+                    if host:
+                        host_execute[str(host)] = (
+                            host_execute.get(str(host), 0.0) + node.duration
+                        )
+        residual = wall - sum(breakdown.values())
+        top_tasks = sorted(
+            tasks.items(), key=lambda kv: (-kv[1]["wall_s"], kv[0])
+        )[:top]
+        apps[app] = {
+            "windows": len(windows),
+            "wall_s": wall,
+            "breakdown": breakdown,
+            "breakdown_residual_s": residual,
+            "critical_path": _critical_path(windows[-1]),
+            "tasks": tasks,
+            "top_tasks": [
+                {"task": task_id, "wall_s": info["wall_s"]}
+                for task_id, info in top_tasks
+            ],
+        }
+
+    top_hosts = sorted(
+        host_execute.items(), key=lambda kv: (-kv[1], kv[0])
+    )[:top]
+    integrity = span_integrity(events)
+    orphaned = sum(
+        1 for e in events if e.kind == EventKind.SPAN_ORPHAN
+    )
+    return {
+        "schema_version": ATTRIBUTION_SCHEMA_VERSION,
+        "apps": apps,
+        "top_hosts": [
+            {"host": host, "execute_s": value} for host, value in top_hosts
+        ],
+        "integrity": {
+            "violations": integrity,
+            "orphaned_spans": orphaned,
+        },
+    }
+
+
+def _round_floats(value: Any, digits: int = 9) -> Any:
+    if isinstance(value, float):
+        rounded = round(value, digits)
+        return 0.0 if rounded == 0 else rounded
+    if isinstance(value, dict):
+        return {k: _round_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_round_floats(v, digits) for v in value]
+    return value
+
+
+def report_to_json(report: Dict[str, Any]) -> str:
+    """Canonical JSON: 9-decimal rounding, sorted keys, trailing newline."""
+    return json.dumps(
+        _round_floats(report), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+def report_hash(report: Dict[str, Any]) -> str:
+    """sha256 of the canonical JSON — the explain determinism oracle."""
+    return hashlib.sha256(report_to_json(report).encode("utf-8")).hexdigest()

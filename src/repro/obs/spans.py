@@ -1,0 +1,298 @@
+"""Causal spans: tree-structured timing on top of the flat tracer.
+
+A *span* is one timed operation in an application's lifecycle — the
+admission wait, the distributed schedule, one RPC attempt, one task's
+execute attempt.  Spans carry a ``span_id`` and a ``parent_id`` so the
+whole lifecycle forms a tree rooted at the application's ``app`` span:
+
+    app
+    ├── admission_wait
+    ├── schedule
+    │   └── bid_exchange (per remote site)
+    │       └── rpc → rpc_attempt → retry_backoff
+    ├── allocation
+    │   ├── rpc → rpc_attempt            (remote table portions)
+    │   └── sm_fanout                    (SM → GM → AC, per site)
+    ├── channel_setup
+    │   └── rpc → rpc_attempt            (per edge)
+    └── task (per AFG task)
+        ├── input_wait / stage_in
+        ├── execute (per attempt)
+        │   └── speculate_backup         (sibling race copy)
+        ├── reschedule
+        └── stage_out (per out-edge)
+
+Spans are emitted as paired trace events (``span_open`` /
+``span_close``) through the ordinary :class:`~repro.trace.tracer.Tracer`
+— they share its clock, sequence numbers and JSONL persistence, and the
+attribution engine (:mod:`repro.obs.attribution`) rebuilds the tree
+from a saved trace alone.  A span that can no longer close (its owner
+crashed, or the campaign ended) is *orphan-marked* with a
+``span_orphan`` event; the chaos invariant I9 checks that every opened
+span is closed exactly once or explicitly orphaned.
+
+The recorder is pure bookkeeping on the virtual clock: it draws no
+random numbers and never yields, so enabling it cannot perturb
+scheduling decisions or timing — only the event stream grows.  The
+:data:`NULL_SPANS` singleton is the disabled recorder (the default
+everywhere); hot paths guard with ``if spans.enabled:`` exactly like
+the tracer's null-object pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from repro.trace.events import EventKind
+from repro.trace.tracer import Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_SPANS",
+    "NullSpanRecorder",
+    "SpanContext",
+    "SpanKind",
+    "SpanRecorder",
+]
+
+
+class SpanKind:
+    """Namespace of well-known span kinds (plain strings)."""
+
+    #: application root: submit → result collected
+    APP = "app"
+    #: queued at the admission queue, waiting for a slot
+    ADMISSION_WAIT = "admission_wait"
+    #: distributed scheduling (Fig. 2 steps 2-5 + placement)
+    SCHEDULE = "schedule"
+    #: one AFG-multicast / bid-reply exchange with a remote site
+    BID_EXCHANGE = "bid_exchange"
+    #: allocation-table distribution to every involved site
+    ALLOCATION = "allocation"
+    #: Site Manager → Group Managers → App Controllers fanout at one site
+    SM_FANOUT = "sm_fanout"
+    #: per-edge channel setup + acks
+    CHANNEL_SETUP = "channel_setup"
+    #: one AFG task, input wait → execution → output handoff
+    TASK = "task"
+    #: waiting on upstream dataflow edges
+    INPUT_WAIT = "input_wait"
+    #: staging explicit file inputs onto the assigned host
+    STAGE_IN = "stage_in"
+    #: one execution attempt on the assigned host(s)
+    EXECUTE = "execute"
+    #: pushing one produced value down its channel
+    STAGE_OUT = "stage_out"
+    #: post-execution refinement + result assembly
+    COLLECT = "collect"
+    #: one ControlPlane request (all attempts)
+    RPC = "rpc"
+    #: one attempt of a ControlPlane request
+    RPC_ATTEMPT = "rpc_attempt"
+    #: backoff pause between failed attempts (RPC or data retries)
+    RETRY_BACKOFF = "retry_backoff"
+    #: replacement placement + input re-staging after a failure
+    RESCHEDULE = "reschedule"
+    #: speculative backup copy racing the primary (sibling of execute)
+    SPECULATE_BACKUP = "speculate_backup"
+    #: restoring completed tasks from a checkpoint on resume
+    RESUME = "resume"
+    #: Group Manager deputy election window (crash → restart)
+    FAILOVER = "failover"
+
+
+class SpanContext(NamedTuple):
+    """An open span's identity, passed to children and to ``close``."""
+
+    span_id: int
+    kind: str
+    app: str
+
+
+#: the disabled context (what :data:`NULL_SPANS` hands out)
+NULL_SPAN = SpanContext(-1, "", "")
+
+
+class SpanRecorder:
+    """Opens/closes causal spans as paired trace events.
+
+    Span ids are a per-recorder counter, so they are deterministic for
+    a deterministic simulation.  ``_open`` tracks live spans for the
+    orphan-marking path; ``close`` on an id that was already closed or
+    orphaned is a silent no-op (a late stage-out closing after its
+    application was abandoned must not double-close).
+    """
+
+    enabled: bool = True
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._ids = itertools.count(1)
+        #: live spans: span_id -> context
+        self._open: Dict[int, SpanContext] = {}
+        #: lazily-created application roots: app -> context
+        self._roots: Dict[str, SpanContext] = {}
+        #: ambient context stack (RPC handler-side propagation)
+        self._stack: List[SpanContext] = []
+
+    # -- core --------------------------------------------------------------
+
+    def open(
+        self,
+        kind: str,
+        app: str,
+        parent: Optional[SpanContext] = None,
+        source: str = "",
+        **attrs: Any,
+    ) -> SpanContext:
+        """Open one span; returns the context to close it with."""
+        span_id = next(self._ids)
+        parent_id = (
+            parent.span_id
+            if parent is not None and parent.span_id >= 0
+            else None
+        )
+        ctx = SpanContext(span_id, kind, app)
+        self._open[span_id] = ctx
+        self.tracer.emit(
+            EventKind.SPAN_OPEN, source=source, span=kind, span_id=span_id,
+            parent_id=parent_id, application=app, **attrs,
+        )
+        return ctx
+
+    def close(
+        self,
+        ctx: SpanContext,
+        source: str = "",
+        status: str = "ok",
+        **attrs: Any,
+    ) -> None:
+        """Close an open span; no-op if already closed or orphaned."""
+        if ctx.span_id not in self._open:
+            return
+        del self._open[ctx.span_id]
+        self.tracer.emit(
+            EventKind.SPAN_CLOSE, source=source, span=ctx.kind,
+            span_id=ctx.span_id, application=ctx.app, status=status, **attrs,
+        )
+
+    def orphan(self, ctx: SpanContext, reason: str, source: str = "") -> None:
+        """Explicitly mark a span that can no longer close (crash)."""
+        if ctx.span_id not in self._open:
+            return
+        del self._open[ctx.span_id]
+        self.tracer.emit(
+            EventKind.SPAN_ORPHAN, source=source, span=ctx.kind,
+            span_id=ctx.span_id, application=ctx.app, reason=reason,
+        )
+
+    # -- application roots -------------------------------------------------
+
+    def root_of(self, app: str, source: str = "") -> SpanContext:
+        """The application's root span, created lazily on first use.
+
+        Every entry point (admission queue, ``submit``, the chaos
+        harness, resume) shares root management through this method, so
+        whichever runs first owns creation and the rest parent to it.
+        """
+        ctx = self._roots.get(app)
+        if ctx is None:
+            ctx = self.open(SpanKind.APP, app, source=source)
+            self._roots[app] = ctx
+        return ctx
+
+    def close_root(self, app: str, source: str = "", status: str = "ok",
+                   **attrs: Any) -> None:
+        """Close the application's root span (idempotent)."""
+        ctx = self._roots.pop(app, None)
+        if ctx is not None:
+            self.close(ctx, source=source, status=status, **attrs)
+
+    def abandon_app(self, app: str, reason: str, source: str = "") -> None:
+        """Orphan-mark every live span of one application (crash path).
+
+        A checkpoint-restart of the same application afterwards gets a
+        fresh root from :meth:`root_of`; the attribution engine treats
+        the two roots as separate windows of the same application.
+        """
+        self._roots.pop(app, None)
+        for span_id in sorted(
+            (i for i, c in self._open.items() if c.app == app), reverse=True
+        ):
+            self.orphan(self._open[span_id], reason, source=source)
+
+    def orphan_all(self, reason: str, source: str = "") -> None:
+        """Orphan-mark every live span (end of a chaos campaign)."""
+        self._roots.clear()
+        for span_id in sorted(self._open, reverse=True):
+            self.orphan(self._open[span_id], reason, source=source)
+
+    # -- ambient context (RPC handler-side propagation) --------------------
+
+    def push(self, ctx: SpanContext) -> None:
+        self._stack.append(ctx)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    @property
+    def current(self) -> Optional[SpanContext]:
+        """The innermost ambient context, or None outside any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def open_spans(self) -> Dict[int, SpanContext]:
+        return dict(self._open)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanRecorder({len(self._open)} open)"
+
+
+class NullSpanRecorder(SpanRecorder):
+    """The disabled recorder: every method a no-op, every span NULL."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(tracer=None)  # type: ignore[arg-type]
+
+    def open(self, kind, app, parent=None, source="", **attrs):
+        return NULL_SPAN
+
+    def close(self, ctx, source="", status="ok", **attrs):
+        pass
+
+    def orphan(self, ctx, reason, source=""):
+        pass
+
+    def root_of(self, app, source=""):
+        return NULL_SPAN
+
+    def close_root(self, app, source="", status="ok", **attrs):
+        pass
+
+    def abandon_app(self, app, reason, source=""):
+        pass
+
+    def orphan_all(self, reason, source=""):
+        pass
+
+    def push(self, ctx):
+        pass
+
+    def pop(self):
+        pass
+
+    @property
+    def current(self) -> Optional[SpanContext]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullSpanRecorder()"
+
+
+#: shared disabled recorder — safe because it holds no state
+NULL_SPANS = NullSpanRecorder()

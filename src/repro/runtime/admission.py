@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.afg.graph import ApplicationFlowGraph
+from repro.obs.spans import SpanContext, SpanKind
 from repro.scheduler.site_scheduler import SiteScheduler
 from repro.sim.kernel import Signal, Simulator
 
@@ -33,6 +34,7 @@ class _Pending:
     done: Signal = field(compare=False)
     submitted_at: float = field(compare=False, default=0.0)
     execute_payloads: Optional[bool] = field(compare=False, default=None)
+    wait_span: Optional[SpanContext] = field(compare=False, default=None)
 
 
 class AdmissionQueue:
@@ -66,6 +68,14 @@ class AdmissionQueue:
         """
         account = self.runtime.repositories[self.site].users.get(user)
         done = self.sim.signal(f"admission:{afg.name}")
+        wait_span = None
+        spans = self.runtime.spans
+        if spans.enabled:
+            root = spans.root_of(afg.name, source=f"admission:{self.site}")
+            wait_span = spans.open(
+                SpanKind.ADMISSION_WAIT, afg.name, parent=root,
+                source=f"admission:{self.site}", priority=account.priority,
+            )
         entry = _Pending(
             # heap is a min-heap: negate priority so higher goes first
             sort_key=(-account.priority, next(self._seq)),
@@ -74,6 +84,7 @@ class AdmissionQueue:
             done=done,
             submitted_at=self.sim.now,
             execute_payloads=execute_payloads,
+            wait_span=wait_span,
         )
         heapq.heappush(self._heap, entry)
         self.sim.call_at(self.sim.now, self._dispatch)
@@ -96,6 +107,11 @@ class AdmissionQueue:
             stats = self.runtime.stats
             stats.queue_wait_s += wait
             stats.queue_waits[entry.afg.name] = wait
+            if entry.wait_span is not None:
+                self.runtime.spans.close(
+                    entry.wait_span, source=f"admission:{self.site}",
+                    wait_s=wait,
+                )
             self.sim.process(self._run_entry(entry),
                              name=f"admitted:{entry.afg.name}")
 
@@ -111,6 +127,10 @@ class AdmissionQueue:
         except Exception as exc:  # noqa: BLE001 - surfaced via the signal
             self._running -= 1
             self.sim.call_at(self.sim.now, self._dispatch)
+            self.runtime.spans.abandon_app(
+                entry.afg.name, reason=type(exc).__name__,
+                source=f"admission:{self.site}",
+            )
             entry.done.fail(exc)
             return
         self._running -= 1

@@ -374,6 +374,7 @@ def resume_run(
     limit: Optional[float] = None,
     tracer=None,
     metrics=None,
+    runtime_config=None,
 ):
     """Rebuild a deployment from a checkpoint directory and finish the app.
 
@@ -395,11 +396,17 @@ def resume_run(
     repositories = (
         VDCE.load_repositories(repos_dir) if os.path.isdir(repos_dir) else None
     )
+    kwargs = {}
+    if runtime_config is not None:
+        kwargs["runtime_config"] = runtime_config
     vdce = VDCE(
         spec=_spec_from_meta(meta),
         repositories=repositories,
-        tracer=tracer or NULL_TRACER,
-        metrics=metrics or NULL_METRICS,
+        # explicit None checks: an *empty* Tracer/registry is falsy
+        # (len == 0), and `or` would silently swap in the null object
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        metrics=metrics if metrics is not None else NULL_METRICS,
+        **kwargs,
     )
     journal = CheckpointJournal(journal_path(directory))
     proc = vdce.runtime.execute_process(

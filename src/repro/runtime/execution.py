@@ -41,6 +41,7 @@ from repro.afg.graph import ApplicationFlowGraph, Edge
 from repro.afg.serialize import afg_to_dict
 from repro.afg.task import TaskNode
 from repro.net.rpc import ManagerUnavailable, RpcTimeout
+from repro.obs.spans import SpanKind
 from repro.runtime.checkpoint import (
     ApplicationCheckpoint,
     CheckpointJournal,
@@ -226,6 +227,10 @@ class ExecutionCoordinator:
         self.control = runtime.control
         self.rpc_policy = runtime.config.rpc_policy
         self.data_policy = runtime.config.data_policy
+        #: causal span recorder (runtime-shared; null object when off)
+        self.spans = runtime.spans
+        #: this application's root span context (None when spans are off)
+        self._root_span = None
         #: sites that never acknowledged their allocation portion
         self._unreachable_sites: set = set()
         #: task -> reasons for pre-execution moves off unreachable sites
@@ -261,6 +266,8 @@ class ExecutionCoordinator:
     def _run(self):
         submitted_at = self.sim.now
         source = f"app:{self.afg.name}"
+        if self.spans.enabled:
+            self._root_span = self.spans.root_of(self.afg.name, source=source)
 
         # Phase 0: journal the schedule (fresh run) or the resume.
         if self._resuming:
@@ -277,6 +284,12 @@ class ExecutionCoordinator:
                     submit_site=self.submit_site,
                     completed=len(self._restored),
                 )
+            if self._root_span is not None:
+                resume_span = self.spans.open(
+                    SpanKind.RESUME, self.afg.name, parent=self._root_span,
+                    source=source, completed=len(self._restored),
+                )
+                self.spans.close(resume_span, source=source)
         else:
             self._journal_append(
                 "schedule",
@@ -287,12 +300,28 @@ class ExecutionCoordinator:
             )
 
         # Phase 1: distribute allocation-table portions.
+        alloc_span = None
+        if self._root_span is not None:
+            alloc_span = self.spans.open(
+                SpanKind.ALLOCATION, self.afg.name, parent=self._root_span,
+                source=source,
+            )
         with self.tracer.span("allocation", source=source):
-            yield from self._distribute_allocation()
+            yield from self._distribute_allocation(span=alloc_span)
+        if alloc_span is not None:
+            self.spans.close(alloc_span, source=source)
 
         # Phase 2: channel setup + acks for every AFG edge.
+        chan_span = None
+        if self._root_span is not None:
+            chan_span = self.spans.open(
+                SpanKind.CHANNEL_SETUP, self.afg.name, parent=self._root_span,
+                source=source, edges=len(self.afg.edges),
+            )
         with self.tracer.span("channel_setup", source=source):
-            yield from self._setup_channels()
+            yield from self._setup_channels(span=chan_span)
+        if chan_span is not None:
+            self.spans.close(chan_span, source=source)
 
         # Phase 3: the execution startup signal.
         self.stats.startup_signals += 1
@@ -325,6 +354,12 @@ class ExecutionCoordinator:
         # Phase 6: post-execution task-performance refinement.  Records
         # restored from a checkpoint were refined before the crash; a
         # crashed Site Manager cannot take updates.
+        collect_span = None
+        if self._root_span is not None:
+            collect_span = self.spans.open(
+                SpanKind.COLLECT, self.afg.name, parent=self._root_span,
+                source=source,
+            )
         for task_id, record in self.records.items():
             if task_id in self._restored:
                 continue
@@ -336,6 +371,12 @@ class ExecutionCoordinator:
                     expected_s=record.predicted_time,
                     measured_s=record.measured_time,
                 )
+        if collect_span is not None:
+            self.spans.close(collect_span, source=source)
+            self.spans.close_root(
+                self.afg.name, source=source,
+                makespan_s=finished_at - startup_at,
+            )
 
         return ApplicationResult(
             application=self.afg.name,
@@ -350,7 +391,7 @@ class ExecutionCoordinator:
             reschedules=self._reschedules,
         )
 
-    def _distribute_allocation(self):
+    def _distribute_allocation(self, span=None):
         """Phase 1: local SM -> remote SMs -> Group Managers -> Controllers.
 
         Remote portions ride the retrying control plane.  A site that
@@ -374,13 +415,24 @@ class ExecutionCoordinator:
             procs = []
             for site_name in pending:
                 if site_name == self.submit_site:
-                    local_signal = self.runtime.site_managers[
-                        site_name
-                    ].distribute_allocation(snapshot, self.afg)
+                    # ambient context so the Site Manager's fanout span
+                    # parents under the allocation span (the remote path
+                    # gets the same via the RPC attempt context)
+                    if span is not None:
+                        self.spans.push(span)
+                    try:
+                        local_signal = self.runtime.site_managers[
+                            site_name
+                        ].distribute_allocation(snapshot, self.afg)
+                    finally:
+                        if span is not None:
+                            self.spans.pop()
                 else:
                     procs.append(
                         self.sim.process(
-                            self._deliver_allocation(site_name, local_server, snapshot),
+                            self._deliver_allocation(
+                                site_name, local_server, snapshot, span=span
+                            ),
                             name=f"alloc:{self.afg.name}:{site_name}",
                         )
                     )
@@ -448,7 +500,8 @@ class ExecutionCoordinator:
             snapshot.assign(assignment)
         return snapshot
 
-    def _deliver_allocation(self, site_name: str, local_server: str, snapshot):
+    def _deliver_allocation(self, site_name: str, local_server: str, snapshot,
+                            span=None):
         """Send one remote site its table portion; value ``(site, ok)``."""
         manager = self.runtime.site_managers[site_name]
         remote_server = self.runtime.topology.site(site_name).server_host.name
@@ -472,6 +525,7 @@ class ExecutionCoordinator:
                 reply_mb=_ALLOC_ACK_BYTES_MB,
                 label=f"alloc:{self.afg.name}:{site_name}",
                 policy=self.rpc_policy, on_send=on_send,
+                span=span,
             )
         except RpcTimeout:
             if self.tracer.enabled:
@@ -542,7 +596,7 @@ class ExecutionCoordinator:
             moved.add(replacement.site)
         return sorted(moved)
 
-    def _setup_channels(self):
+    def _setup_channels(self, span=None):
         """Phase 2: one point-to-point channel per edge, setup + ack.
 
         On a resumed run, an edge whose producer already completed
@@ -554,7 +608,7 @@ class ExecutionCoordinator:
         """
 
         def setup(edge: Edge):
-            yield from self._establish_channel(edge)
+            yield from self._establish_channel(edge, span=span)
             self._edge_ready[_edge_key(edge)] = self.sim.signal(
                 f"edge:{edge.src}->{edge.dst}"
             )
@@ -591,7 +645,7 @@ class ExecutionCoordinator:
         if procs:
             yield AllOf(procs)
 
-    def _establish_channel(self, edge: Edge):
+    def _establish_channel(self, edge: Edge, span=None):
         """Channel setup + ack for one edge, with control-plane retries.
 
         The communication proxy's setup message and the acknowledgement
@@ -624,6 +678,7 @@ class ExecutionCoordinator:
                 src_host, dst_host, lambda: None, transport="latency",
                 label=f"chan:{self.afg.name}:{edge.src}->{edge.dst}",
                 policy=self.rpc_policy, on_send=on_send, on_reply=on_reply,
+                span=span,
             )
         except RpcTimeout as exc:
             raise ExecutionError(
@@ -712,22 +767,51 @@ class ExecutionCoordinator:
             reschedule_reasons=list(self._pre_execution_moves.get(task_id, [])),
         )
         self.records[task_id] = record
+        task_span = None
+        if self._root_span is not None:
+            task_span = self.spans.open(
+                SpanKind.TASK, self.afg.name, parent=self._root_span,
+                source=f"app:{self.afg.name}", task=task_id,
+                task_type=node.task_type, site=assignment.site,
+                hosts=assignment.hosts,
+            )
 
         # Gather dataflow inputs (in dst_port order for the implementation).
         in_edges = sorted(self.afg.in_edges(task_id), key=lambda e: e.dst_port)
         port_values: Dict[int, Any] = {}
-        for edge in in_edges:
-            value = yield self._edge_ready[_edge_key(edge)]
-            port_values[edge.dst_port] = value
+        if in_edges:
+            wait_span = None
+            if task_span is not None:
+                wait_span = self.spans.open(
+                    SpanKind.INPUT_WAIT, self.afg.name, parent=task_span,
+                    source=f"app:{self.afg.name}", task=task_id,
+                    edges=len(in_edges),
+                )
+            for edge in in_edges:
+                value = yield self._edge_ready[_edge_key(edge)]
+                port_values[edge.dst_port] = value
+            if wait_span is not None:
+                self.spans.close(wait_span, source=f"app:{self.afg.name}")
 
         # Stage explicit file inputs from the submitting site's server.
         src_server = self.runtime.topology.site(self.submit_site).server_host.name
-        for binding in node.properties.file_inputs():
-            dst = self.assignment[task_id].primary_host
-            value = yield from self._stage_with_retry(
-                binding.file, src_server, dst, record
-            )
-            port_values[binding.port] = value
+        file_inputs = node.properties.file_inputs()
+        if file_inputs:
+            stage_span = None
+            if task_span is not None:
+                stage_span = self.spans.open(
+                    SpanKind.STAGE_IN, self.afg.name, parent=task_span,
+                    source=f"app:{self.afg.name}", task=task_id,
+                    files=len(file_inputs),
+                )
+            for binding in file_inputs:
+                dst = self.assignment[task_id].primary_host
+                value = yield from self._stage_with_retry(
+                    binding.file, src_server, dst, record
+                )
+                port_values[binding.port] = value
+            if stage_span is not None:
+                self.spans.close(stage_span, source=f"app:{self.afg.name}")
 
         inputs = [port_values.get(p) for p in range(node.n_in_ports)]
 
@@ -742,7 +826,8 @@ class ExecutionCoordinator:
                 task=task_id, task_type=node.task_type,
                 site=record.site, hosts=record.hosts,
             )
-        yield from self._execute_with_recovery(node, record, inputs)
+        yield from self._execute_with_recovery(node, record, inputs,
+                                               span=task_span)
         record.finished_at = self.sim.now
         if self.tracer.enabled:
             self.tracer.emit(
@@ -787,11 +872,17 @@ class ExecutionCoordinator:
         for edge in self.afg.out_edges(task_id):
             value = outputs[edge.src_port] if outputs else None
             self.sim.process(
-                self._deliver_output(edge, value, record),
+                self._deliver_output(edge, value, record, span=task_span),
                 name=f"xfer:{edge.src}->{edge.dst}",
             )
+        if task_span is not None:
+            self.spans.close(
+                task_span, source=f"app:{self.afg.name}",
+                attempts=record.attempts, measured_s=record.measured_time,
+            )
 
-    def _deliver_output(self, edge: Edge, value: Any, record: TaskRecord):
+    def _deliver_output(self, edge: Edge, value: Any, record: TaskRecord,
+                        span=None):
         """Push one produced value down its channel, surviving outages.
 
         A delivery that exhausts the data policy fails the edge signal,
@@ -802,6 +893,13 @@ class ExecutionCoordinator:
         sent_at = self.sim.now
         src_host = self.assignment[edge.src].primary_host
         dst_host = self.assignment[edge.dst].primary_host
+        out_span = None
+        if span is not None and self.spans.enabled:
+            out_span = self.spans.open(
+                SpanKind.STAGE_OUT, self.afg.name, parent=span,
+                source=f"app:{self.afg.name}", task=edge.src,
+                edge=[edge.src, edge.dst], size_mb=edge.size_mb,
+            )
         try:
             yield from self._transfer_with_retry(
                 src_host, dst_host, edge.size_mb,
@@ -809,6 +907,10 @@ class ExecutionCoordinator:
                 reason="dataflow", edge=edge,
             )
         except ExecutionError as exc:
+            if out_span is not None:
+                self.spans.close(
+                    out_span, source=f"app:{self.afg.name}", status="failed",
+                )
             self._edge_ready[key].fail(exc)
             return
         if self.sim.metrics.enabled:
@@ -816,6 +918,8 @@ class ExecutionCoordinator:
                 "vdce_transfer_latency_seconds",
                 "dataflow transfer time on the contended network",
             ).observe(self.sim.now - sent_at)
+        if out_span is not None:
+            self.spans.close(out_span, source=f"app:{self.afg.name}")
         self._edge_value[key] = value
         self._edge_ready[key].succeed(value)
 
@@ -846,7 +950,8 @@ class ExecutionCoordinator:
                     )
                 yield Timeout(policy.backoff(attempt, float(rng.uniform())))
 
-    def _execute_with_recovery(self, node: TaskNode, record: TaskRecord, inputs):
+    def _execute_with_recovery(self, node: TaskNode, record: TaskRecord, inputs,
+                               span=None):
         """Run the task's slice(s); on failure/threshold, reschedule and retry."""
         signature = self.runtime.registry.get(node.task_type)
         props = node.properties
@@ -875,6 +980,7 @@ class ExecutionCoordinator:
                 yield from self._reschedule(
                     node, record,
                     f"hosts believed down: {', '.join(believed_down)}",
+                    span=span,
                 )
                 continue
             controllers = [
@@ -887,13 +993,22 @@ class ExecutionCoordinator:
                         span_work, memory_mb, label=f"{self.afg.name}:{node.id}"
                     )
                 except HostDownError:
-                    yield from self._reschedule(node, record, "host down at start")
+                    yield from self._reschedule(
+                        node, record, "host down at start", span=span
+                    )
                     executions = None
                     break
                 executions.append(execution)
                 controller.watch(execution, node.id, lambda *args: None)
             if executions is None:
                 continue
+            exec_span = None
+            if span is not None and self.spans.enabled:
+                exec_span = self.spans.open(
+                    SpanKind.EXECUTE, self.afg.name, parent=span,
+                    source=f"app:{self.afg.name}", task=node.id,
+                    attempt=record.attempts, host=assignment.primary_host,
+                )
 
             try:
                 if (
@@ -902,7 +1017,8 @@ class ExecutionCoordinator:
                     and assignment.predicted_time > 0
                 ):
                     yield from self._race_with_backup(
-                        node, record, executions[0], span_work, memory_mb
+                        node, record, executions[0], span_work, memory_mb,
+                        task_span=span,
                     )
                 else:
                     for execution in executions:
@@ -912,7 +1028,12 @@ class ExecutionCoordinator:
                 for execution in executions:
                     if not execution.done.triggered:
                         execution.host.cancel(execution, cause="sibling failed")
-                yield from self._reschedule(node, record, str(exc))
+                if exec_span is not None:
+                    self.spans.close(
+                        exec_span, source=f"app:{self.afg.name}",
+                        status="failed",
+                    )
+                yield from self._reschedule(node, record, str(exc), span=span)
                 continue
 
             record.measured_time = self.sim.now - attempt_start
@@ -928,12 +1049,15 @@ class ExecutionCoordinator:
                     "vdce_task_runtime_seconds",
                     "measured wall time of the successful task attempt",
                 ).observe(record.measured_time, site=record.site)
+            if exec_span is not None:
+                self.spans.close(exec_span, source=f"app:{self.afg.name}")
             return
 
     # -- speculative re-execution (straggler defense) -------------------------
 
     def _race_with_backup(self, node: TaskNode, record: TaskRecord,
-                          primary, span_work: float, memory_mb: int):
+                          primary, span_work: float, memory_mb: int,
+                          task_span=None):
         """Race the primary slice against at most one speculative backup.
 
         A timer process watches the primary's progress; once it exceeds
@@ -953,6 +1077,8 @@ class ExecutionCoordinator:
         copies = [primary]
         entry_box: List[Optional[Dict[str, Any]]] = [None]
         bid_box: List[Any] = [None]
+        #: the backup copy's speculate_backup span, opened by the timer
+        spec_span_box: List[Any] = [None]
 
         def watcher(which: str, execution):
             try:
@@ -977,6 +1103,7 @@ class ExecutionCoordinator:
             self._speculation_timer(
                 node, record, primary, copies, outcome,
                 span_work, memory_mb, watcher, entry_box, bid_box,
+                task_span=task_span, spec_span_box=spec_span_box,
             ),
             name=f"spectimer:{self.afg.name}:{node.id}",
         )
@@ -988,6 +1115,10 @@ class ExecutionCoordinator:
             if entry is not None and entry["resolved_at"] is None:
                 entry["resolved_at"] = self.sim.now
                 entry["outcome"] = "failed"
+            if spec_span_box[0] is not None:
+                self.spans.close(
+                    spec_span_box[0], source=source, status="failed",
+                )
             raise
 
         # first completion wins: cancel the losing copy (if any)
@@ -1011,6 +1142,11 @@ class ExecutionCoordinator:
         if entry is not None:
             entry["resolved_at"] = self.sim.now
             entry["outcome"] = "backup_win" if which == "backup" else "primary_win"
+        if spec_span_box[0] is not None:
+            self.spans.close(
+                spec_span_box[0], source=source,
+                status="win" if which == "backup" else "cancelled",
+            )
         if which == "backup":
             bid = bid_box[0]
             self.assignment[node.id] = TaskAssignment(
@@ -1032,7 +1168,8 @@ class ExecutionCoordinator:
 
     def _speculation_timer(self, node: TaskNode, record: TaskRecord, primary,
                            copies, outcome, span_work: float, memory_mb: int,
-                           watcher, entry_box, bid_box):
+                           watcher, entry_box, bid_box,
+                           task_span=None, spec_span_box=None):
         """Launch one backup copy once the primary is overdue.
 
         The trigger threshold is ``predicted × trigger_multiple``
@@ -1136,6 +1273,13 @@ class ExecutionCoordinator:
         }
         entry_box[0] = entry
         self.speculation_log.append(entry)
+        if task_span is not None and spec_span_box is not None:
+            # sibling of the primary's execute span under the task span
+            spec_span_box[0] = self.spans.open(
+                SpanKind.SPECULATE_BACKUP, self.afg.name, parent=task_span,
+                source=f"app:{self.afg.name}", task=node.id,
+                host=backup_host, primary_host=primary.host.name,
+            )
         self.stats.speculative_launches += 1
         if self.sim.metrics.enabled:
             self.sim.metrics.counter(
@@ -1153,6 +1297,7 @@ class ExecutionCoordinator:
                 primary.host.name,
                 self.runtime.health.policy.straggle_penalty,
                 "straggle",
+                origin=f"app:{self.afg.name}",
             )
         controller.watch(backup, node.id, lambda *args: None)
         self.sim.process(
@@ -1206,8 +1351,15 @@ class ExecutionCoordinator:
             return False
         return self.runtime.topology.network.reachable(self.submit_site, site_name)
 
-    def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str):
+    def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str,
+                    span=None):
         """Obtain a replacement placement and re-stage inputs onto it."""
+        resched_span = None
+        if span is not None and self.spans.enabled:
+            resched_span = self.spans.open(
+                SpanKind.RESCHEDULE, self.afg.name, parent=span,
+                source=f"app:{self.afg.name}", task=node.id, reason=reason,
+            )
         self._reschedules += 1
         self.stats.reschedule_requests += 1
         if self.sim.metrics.enabled:
@@ -1282,4 +1434,9 @@ class ExecutionCoordinator:
         for binding in node.properties.file_inputs():
             yield from self._stage_with_retry(
                 binding.file, src_server, new_primary, record
+            )
+        if resched_span is not None:
+            self.spans.close(
+                resched_span, source=f"app:{self.afg.name}",
+                site=new_assignment.site,
             )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 import repro.perf as perf
+from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
 from repro.runtime.straggler import HostHealth, PhiAccrualDetector
@@ -56,6 +57,7 @@ class GroupManager:
         phi_down: float = 2.0,
         echo_timeout_s: Optional[float] = None,
         health: Optional[HostHealth] = None,
+        spans: SpanRecorder = NULL_SPANS,
     ):
         """``echo_loss_prob`` models a lossy campus LAN: each echo round
         trip independently fails with this probability.  A host is only
@@ -113,6 +115,9 @@ class GroupManager:
             float(echo_timeout_s) if echo_timeout_s is not None else None
         )
         self.health = health
+        self.spans = spans
+        #: open failover span between crash and restart (spans on only)
+        self._crash_span = None
         #: last workload value forwarded upward, per host
         self._last_forwarded: Dict[str, float] = {}
         #: what this Group Manager believes about host liveness
@@ -173,6 +178,13 @@ class GroupManager:
             self.tracer.emit(
                 EventKind.MANAGER_CRASH, source=f"gm:{self.name}",
                 role="group_manager",
+            )
+        if self.spans.enabled:
+            # manager-scoped span (no owning application): the window
+            # from crash to restart during which the group is headless
+            self._crash_span = self.spans.open(
+                SpanKind.FAILOVER, "", source=f"gm:{self.name}",
+                group=self.name,
             )
 
     def recover(self) -> None:
@@ -241,6 +253,13 @@ class GroupManager:
                 kind, source=f"gm:{self.name}", role="group_manager",
                 deputy=deputy,
             )
+        if self._crash_span is not None:
+            self.spans.close(
+                self._crash_span, source=f"gm:{self.name}",
+                status="failover" if kind == EventKind.FAILOVER else "recover",
+                deputy=deputy,
+            )
+            self._crash_span = None
         if self._echo_process is not None:
             # monitoring was running before the crash: resume the echo
             # protocol under the new generation
@@ -475,7 +494,7 @@ class GroupManager:
                 if self.health is not None:
                     self.health.penalize(
                         host.name, self.health.policy.failure_penalty,
-                        "declared_down",
+                        "declared_down", origin=f"gm:{self.name}",
                     )
             elif phi < self.phi_suspect:
                 self._suspected[host.name] = False
@@ -493,7 +512,8 @@ class GroupManager:
                 )
             if self.health is not None:
                 self.health.penalize(
-                    host.name, self.health.policy.suspect_penalty, "suspect"
+                    host.name, self.health.policy.suspect_penalty, "suspect",
+                    origin=f"gm:{self.name}",
                 )
 
     def is_suspected(self, host_name: str) -> bool:

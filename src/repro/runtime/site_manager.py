@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.net.rpc import ManagerUnavailable
+from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.repository.store import SiteRepository
 from repro.runtime.monitor import Measurement
 from repro.runtime.stats import RuntimeStats
@@ -48,6 +49,7 @@ class SiteManager:
         lan_latency_s: float = 0.0005,
         tracer: Tracer = NULL_TRACER,
         health=None,
+        spans: SpanRecorder = NULL_SPANS,
     ):
         self.sim = sim
         self.site = site
@@ -55,6 +57,7 @@ class SiteManager:
         self.stats = stats
         self.lan_latency_s = float(lan_latency_s)
         self.tracer = tracer
+        self.spans = spans
         #: optional HostHealth: quarantine + prediction penalties folded
         #: into every host selection this site performs
         self.health = health
@@ -196,6 +199,16 @@ class SiteManager:
             )
         # ... then Group Manager -> each Application Controller
         pending = [len(hosts_involved)]
+        fanout_span = None
+        if self.spans.enabled:
+            # parented to the caller's ambient context: the allocation
+            # span for a local call, the RPC attempt for a remote one —
+            # this is the cross-site hop that stitches the tree together
+            fanout_span = self.spans.open(
+                SpanKind.SM_FANOUT, table.application,
+                parent=self.spans.current, source=f"sm:{self.name}",
+                groups=groups_involved, hosts=len(hosts_involved),
+            )
 
         def deliver_to_controller(host_name: str) -> None:
             self.stats.execution_requests += 1
@@ -208,6 +221,8 @@ class SiteManager:
             controller.receive_execution_request(table.application)
             pending[0] -= 1
             if pending[0] == 0:
+                if fanout_span is not None:
+                    self.spans.close(fanout_span, source=f"sm:{self.name}")
                 done.succeed(hosts_involved)
 
         for host_name in hosts_involved:

@@ -241,8 +241,15 @@ class HostHealth:
             score *= 0.5 ** (dt / self.policy.half_life_s)
         return score
 
-    def penalize(self, host: str, amount: float, reason: str = "") -> None:
-        """Fold one penalty into the host's decayed score."""
+    def penalize(
+        self, host: str, amount: float, reason: str = "", origin: str = ""
+    ) -> None:
+        """Fold one penalty into the host's decayed score.
+
+        ``origin`` names who reported the misbehaviour (``app:<name>``
+        or ``gm:<name>``), so a QUARANTINE event is attributable to the
+        application or manager whose penalty tipped the score.
+        """
         if amount <= 0:
             return
         score = self.score_of(host) + float(amount)
@@ -259,6 +266,7 @@ class HostHealth:
                 self.tracer.emit(
                     EventKind.QUARANTINE, source="health",
                     host=host, score=score, reason=reason,
+                    origin=origin or "health",
                     until=self._quarantined_until[host],
                 )
             self._export_gauge()

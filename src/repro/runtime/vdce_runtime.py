@@ -27,6 +27,7 @@ from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.serialize import afg_to_json
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.net.rpc import ControlPlane, RetryPolicy, RpcTimeout
+from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.repository.store import SiteRepository
 from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
@@ -105,6 +106,11 @@ class RuntimeConfig:
     speculation: Optional[SpeculationPolicy] = None
     #: host health scoring + quarantine (None = disabled)
     health: Optional[HealthPolicy] = None
+    #: causal span tracing (repro.obs): tree-structured open/close span
+    #: events threaded through RPC, admission, scheduling and execution.
+    #: Off by default — the disabled recorder is a shared null object and
+    #: fault-free traces/hashes are byte-identical either way.
+    causal_spans: bool = False
 
     def __post_init__(self) -> None:
         if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
@@ -156,10 +162,18 @@ class VDCERuntime:
         #: it through ``self.sim.metrics``
         self.metrics = self.sim.attach_metrics(metrics)
         self.default_site = default_site or topology.site_names[0]
+        #: causal span recorder (repro.obs); the shared null object
+        #: unless both causal_spans and the tracer are enabled
+        self.spans = (
+            SpanRecorder(self.tracer)
+            if config.causal_spans and self.tracer.enabled
+            else NULL_SPANS
+        )
         #: retrying control-plane messaging shared by every component
         self.control = ControlPlane(
             self.sim, topology.network, stats=self.stats,
             policy=config.rpc_policy, tracer=self.tracer,
+            spans=self.spans,
         )
         #: host health scoring (straggler defense); None when disabled
         self.health: Optional[HostHealth] = (
@@ -194,6 +208,7 @@ class VDCERuntime:
                 lan_latency_s=lan_latency,
                 tracer=self.tracer,
                 health=self.health,
+                spans=self.spans,
             )
             self.site_managers[site_name] = manager
             for group in site.groups.values():
@@ -212,6 +227,7 @@ class VDCERuntime:
                     phi_down=config.phi_down,
                     echo_timeout_s=config.echo_timeout_s,
                     health=self.health,
+                    spans=self.spans,
                 )
                 manager.attach_group_manager(gm)
                 self.group_managers[gm.name] = gm
@@ -323,6 +339,13 @@ class VDCERuntime:
         span_id = self.tracer.begin_span(
             "schedule", source=f"sm:{local_site}", application=afg.name
         )
+        sched_span = None
+        if self.spans.enabled:
+            root = self.spans.root_of(afg.name, source=f"sm:{local_site}")
+            sched_span = self.spans.open(
+                SpanKind.SCHEDULE, afg.name, parent=root,
+                source=f"sm:{local_site}", site=local_site,
+            )
         view = self.federation_view(local_site)
         remotes = view.remote_sites(scheduler.k)
 
@@ -332,6 +355,12 @@ class VDCERuntime:
         def exchange(remote: str):
             remote_server = self.topology.site(remote).server_host.name
             exchange_started = self.sim.now
+            bid_span = None
+            if self.spans.enabled:
+                bid_span = self.spans.open(
+                    SpanKind.BID_EXCHANGE, afg.name, parent=sched_span,
+                    source=f"sm:{local_site}", remote=remote,
+                )
 
             def on_send(attempt: int) -> None:
                 # step 3: multicast the AFG (once per attempt on the wire)
@@ -365,12 +394,18 @@ class VDCERuntime:
                     reply_mb=lambda b: _BID_BYTES_MB * max(1, len(b)),
                     label=f"sched:{afg.name}:{remote}",
                     on_send=on_send, on_reply=on_reply,
+                    span=bid_span,
                 )
             except RpcTimeout:
                 if self.tracer.enabled:
                     self.tracer.emit(
                         EventKind.SITE_UNREACHABLE, source=f"sm:{local_site}",
                         application=afg.name, remote=remote, phase="scheduling",
+                    )
+                if bid_span is not None:
+                    self.spans.close(
+                        bid_span, source=f"sm:{local_site}",
+                        status="unreachable",
                     )
                 return None
             if self.metrics.enabled:
@@ -379,6 +414,10 @@ class VDCERuntime:
                     "AFG multicast -> bid reply round trip per remote site",
                     buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
                 ).observe(self.sim.now - exchange_started, site=remote)
+            if bid_span is not None:
+                self.spans.close(
+                    bid_span, source=f"sm:{local_site}", bids=len(bids),
+                )
             return remote
 
         procs = [
@@ -399,6 +438,11 @@ class VDCERuntime:
                        else None),
         )
         self.tracer.end_span(span_id, source=f"sm:{local_site}")
+        if sched_span is not None:
+            self.spans.close(
+                sched_span, source=f"sm:{local_site}",
+                sites_answered=len(answered), tasks=len(table),
+            )
         if self.metrics.enabled:
             self.metrics.histogram(
                 "vdce_schedule_seconds",

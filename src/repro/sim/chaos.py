@@ -37,6 +37,11 @@ I8 — *bounded waste*: at most one backup is ever launched per task
      attempt, every speculative race launched by a completed
      application is resolved (no leaked backups), and no backup is
      launched after its race has already been decided.
+I9 — *span integrity* (only audited with ``causal_spans=True``): every
+     opened causal span closes exactly once, or is explicitly
+     orphan-marked when its application dies or the campaign ends with
+     work in flight — the trace never contains a silently leaked,
+     double-closed, or never-opened span.
 
 Campaigns can also inject *performance* faults — scripted host
 slowdowns and stochastic slow/normal flapping — and enable the
@@ -130,6 +135,10 @@ class ChaosConfig:
     detector: str = "count"
     speculation: bool = False
     health: bool = False
+    # causal span tracing (repro.obs): off by default so existing
+    # configs' traces keep their committed shape; on, the I9 span
+    # integrity invariant is audited as part of the campaign
+    causal_spans: bool = False
 
     def __post_init__(self) -> None:
         if self.n_sites < 1 or self.hosts_per_site < 1:
@@ -284,9 +293,16 @@ def _build_apps(config: ChaosConfig):
     return apps
 
 
-def run_campaign(config: ChaosConfig) -> ChaosReport:
+def run_campaign(
+    config: ChaosConfig, trace_path: Optional[str] = None
+) -> ChaosReport:
     """Run one chaos campaign and audit it; never raises on faults —
-    fault-tolerance failures surface as :attr:`ChaosReport.violations`."""
+    fault-tolerance failures surface as :attr:`ChaosReport.violations`.
+
+    ``trace_path`` writes the campaign's full event trace (JSONL) for
+    offline analysis — with ``causal_spans`` on, ``repro explain`` can
+    attribute each application's time from that file.
+    """
     # imported here: repro.sim must not depend on the upper layers at
     # import time (the facade imports back down into repro.sim)
     from repro.core.vdce import VDCE
@@ -309,6 +325,7 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
         HostDownError,
     )
 
+    tracer = Tracer()
     vdce = VDCE.standard(
         n_sites=config.n_sites,
         hosts_per_site=config.hosts_per_site,
@@ -320,8 +337,9 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             detector=config.detector,
             speculation=SpeculationPolicy() if config.speculation else None,
             health=HealthPolicy() if config.health else None,
+            causal_spans=config.causal_spans,
         ),
-        tracer=Tracer(),
+        tracer=tracer,
         metrics=MetricsRegistry(),
     )
     sim = vdce.sim
@@ -435,6 +453,11 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                 ]
                 if not survivors:
                     raise
+                # the dead incarnation's open spans are orphan-marked;
+                # the restart opens a fresh root window for the app
+                runtime.spans.abandon_app(
+                    afg.name, reason="ManagerUnavailable", source="chaos"
+                )
                 checkpoint = ApplicationCheckpoint.from_records(
                     journal.records()
                 )
@@ -460,6 +483,9 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
             }
             completed_runs[afg.name] = (coordinator.afg, result)
         except typed_errors as exc:
+            runtime.spans.abandon_app(
+                afg.name, reason=type(exc).__name__, source="chaos"
+            )
             outcomes[afg.name] = {
                 "status": "failed",
                 "site": submit_site,
@@ -468,6 +494,9 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                 "detail": str(exc),
             }
         except Exception as exc:  # noqa: BLE001 — untyped = I1 violation
+            runtime.spans.abandon_app(
+                afg.name, reason=type(exc).__name__, source="chaos"
+            )
             outcomes[afg.name] = {
                 "status": "crashed",
                 "site": submit_site,
@@ -488,6 +517,10 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
     while any(not p.triggered for p in procs) and grace_rounds < 8:
         sim.run(until=sim.now + config.duration_s / 2)
         grace_rounds += 1
+    # applications still in flight when the campaign stops leave their
+    # spans open; mark them as orphans explicitly so I9 can tell a
+    # deliberate cut-off from a silent leak
+    runtime.spans.orphan_all(reason="campaign_end", source="chaos")
 
     # -- audit ---------------------------------------------------------------
     violations: List[str] = []
@@ -656,6 +689,19 @@ def run_campaign(config: ChaosConfig) -> ChaosReport:
                     f"but the backup for task {entry['task']!r} was never "
                     "resolved (leaked speculative copy)"
                 )
+
+    # I9: span integrity — every opened span closed exactly once or
+    # explicitly orphan-marked (abandon on app death, campaign cut-off)
+    if config.causal_spans:
+        from repro.obs.attribution import span_integrity
+
+        for problem in span_integrity(tracer.events()):
+            violations.append(f"I9: {problem}")
+
+    if trace_path is not None:
+        from repro.trace.serialize import write_jsonl
+
+        write_jsonl(tracer, trace_path)
 
     return ChaosReport(
         config=config,

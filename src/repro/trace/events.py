@@ -89,6 +89,11 @@ class EventKind:
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"
 
+    # -- causal spans (tree-structured, repro.obs) -------------------------
+    SPAN_OPEN = "span_open"
+    SPAN_CLOSE = "span_close"
+    SPAN_ORPHAN = "span_orphan"
+
 
 KNOWN_KINDS = frozenset(
     value

@@ -19,6 +19,7 @@ from repro.trace.events import TraceEvent
 from repro.trace.tracer import Tracer
 
 __all__ = [
+    "TRACE_SCHEMA_VERSION",
     "diff_traces",
     "event_to_json",
     "events_to_jsonl",
@@ -27,6 +28,11 @@ __all__ = [
     "trace_hash",
     "write_jsonl",
 ]
+
+#: version of the on-disk JSONL layout.  Bump when an event's shape
+#: changes incompatibly; readers fail loudly on a mismatch instead of
+#: silently misinterpreting old files.
+TRACE_SCHEMA_VERSION = 1
 
 TraceLike = Union[Tracer, Sequence[TraceEvent]]
 
@@ -43,9 +49,18 @@ def event_to_json(event: TraceEvent) -> str:
 
 
 def events_to_jsonl(trace: TraceLike) -> str:
-    """The whole trace as canonical JSONL (trailing newline included)."""
-    lines = [event_to_json(e) for e in _events_of(trace)]
-    return "\n".join(lines) + ("\n" if lines else "")
+    """The whole trace as canonical JSONL (trailing newline included).
+
+    The first line is a schema header (``{"trace_header": ...}``);
+    :func:`trace_hash` is computed over the events only, so adding or
+    bumping the header never changes a trace's identity.
+    """
+    header = json.dumps(
+        {"trace_header": {"schema_version": TRACE_SCHEMA_VERSION}},
+        sort_keys=True, separators=(",", ":"),
+    )
+    lines = [header] + [event_to_json(e) for e in _events_of(trace)]
+    return "\n".join(lines) + "\n"
 
 
 def write_jsonl(trace: TraceLike, path: str) -> str:
@@ -56,14 +71,32 @@ def write_jsonl(trace: TraceLike, path: str) -> str:
 
 
 def parse_jsonl(text: str) -> List[TraceEvent]:
-    """Parse JSONL text back into events (blank lines ignored)."""
+    """Parse JSONL text back into events (blank lines ignored).
+
+    A leading schema header is validated and stripped: an unknown
+    ``schema_version`` raises :class:`ValueError` rather than letting
+    analysis tools silently misread the file.  Headerless files (from
+    before the header existed) still parse.
+    """
     events = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
             continue
         try:
-            events.append(TraceEvent.from_dict(json.loads(line)))
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"bad trace line {lineno}: {exc}") from exc
+        if isinstance(payload, dict) and "trace_header" in payload:
+            version = payload["trace_header"].get("schema_version")
+            if version != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"trace schema_version {version!r} is not supported "
+                    f"(this build reads version {TRACE_SCHEMA_VERSION})"
+                )
+            continue
+        try:
+            events.append(TraceEvent.from_dict(payload))
         except (ValueError, KeyError) as exc:
             raise ValueError(f"bad trace line {lineno}: {exc}") from exc
     return events

@@ -6,7 +6,7 @@ and must produce byte-identical canonical metrics snapshots.
 """
 
 from repro import VDCE
-from repro.metrics.export import snapshot_to_json
+from repro.metrics.export import METRICS_SCHEMA_VERSION, snapshot_to_json
 from repro.metrics.registry import MetricsRegistry
 from repro.sim.workload import OrnsteinUhlenbeckLoad, attach_generators
 from repro.workloads import linear_solver_afg
@@ -91,5 +91,6 @@ class TestMetricsDeterminism:
         env.submit(linear_solver_afg(scale=0.1), k=1)
         assert not env.metrics.enabled
         snap = env.metrics_snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {},
+        assert snap == {"schema_version": METRICS_SCHEMA_VERSION,
+                        "counters": {}, "gauges": {}, "histograms": {},
                         "series": {}}

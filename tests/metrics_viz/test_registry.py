@@ -7,6 +7,7 @@ import re
 import pytest
 
 from repro.metrics.export import (
+    METRICS_SCHEMA_VERSION,
     load_snapshot,
     prometheus_from_snapshot,
     prometheus_text,
@@ -140,6 +141,7 @@ class TestNullRegistry:
         reg.series("s").observe(3.0, host="a")
         assert len(NULL_METRICS) == 0
         assert registry_snapshot(reg) == {
+            "schema_version": METRICS_SCHEMA_VERSION,
             "counters": {}, "gauges": {}, "histograms": {}, "series": {},
         }
 

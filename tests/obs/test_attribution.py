@@ -1,0 +1,315 @@
+"""Attribution engine unit tests on hand-built span trees.
+
+A mutable-clock recorder builds small, exactly-known lifecycles; the
+tests then pin the forest reconstruction, the elementary-interval
+sweep (exact partition + priority), the critical path and the
+canonical report hashing.
+"""
+
+import math
+
+import pytest
+
+from repro.obs.attribution import (
+    ATTRIBUTION_SCHEMA_VERSION,
+    CATEGORIES,
+    build_forest,
+    explain,
+    report_hash,
+    report_to_json,
+    span_integrity,
+)
+from repro.obs.profile import folded_stacks, format_folded, self_time
+from repro.obs.spans import SpanKind, SpanRecorder
+from repro.trace.events import EventKind
+from repro.trace.tracer import Tracer
+
+
+def make_recorder():
+    clock = [0.0]
+    tracer = Tracer(clock=lambda: clock[0])
+    return clock, tracer, SpanRecorder(tracer)
+
+
+def build_lifecycle():
+    """One app, wall 0..10: queue 2s, schedule 1s, then one task with
+    stage_in 1s, execute 5s, stage_out 1s.  Every second accounted."""
+    clock, tracer, spans = make_recorder()
+    root = spans.root_of("app", source="dsm")
+    wait = spans.open(SpanKind.ADMISSION_WAIT, "app", parent=root)
+    clock[0] = 2.0
+    spans.close(wait)
+    sched = spans.open(SpanKind.SCHEDULE, "app", parent=root)
+    clock[0] = 3.0
+    spans.close(sched)
+    task = spans.open(SpanKind.TASK, "app", parent=root, task="t1",
+                      site="site-0")
+    stage = spans.open(SpanKind.STAGE_IN, "app", parent=task)
+    clock[0] = 4.0
+    spans.close(stage)
+    execute = spans.open(SpanKind.EXECUTE, "app", parent=task, host="h0",
+                         task="t1")
+    clock[0] = 9.0
+    spans.close(execute)
+    out = spans.open(SpanKind.STAGE_OUT, "app", parent=task)
+    clock[0] = 10.0
+    spans.close(out)
+    spans.close(task)
+    spans.close_root("app")
+    return tracer.events()
+
+
+class TestForest:
+    def test_tree_reconstruction(self):
+        roots = build_forest(build_lifecycle())
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.kind == SpanKind.APP
+        assert root.app == "app"
+        assert [c.kind for c in root.children] == [
+            SpanKind.ADMISSION_WAIT, SpanKind.SCHEDULE, SpanKind.TASK
+        ]
+        task = root.children[-1]
+        assert [c.kind for c in task.children] == [
+            SpanKind.STAGE_IN, SpanKind.EXECUTE, SpanKind.STAGE_OUT
+        ]
+        assert task.attrs["task"] == "t1"
+        assert root.duration == 10.0
+
+    def test_children_sorted_by_open_time_then_id(self):
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        second = spans.open(SpanKind.TASK, "a", parent=root, task="b")
+        first = spans.open(SpanKind.TASK, "a", parent=root, task="c")
+        clock[0] = 1.0
+        spans.close(first)
+        spans.close(second)
+        spans.close_root("a")
+        children = build_forest(tracer.events())[0].children
+        # same open time: span id breaks the tie
+        assert [c.span_id for c in children] == [
+            second.span_id, first.span_id
+        ]
+
+    def test_unclosed_span_closes_at_trace_end_and_is_flagged(self):
+        clock, tracer, spans = make_recorder()
+        spans.root_of("a")
+        clock[0] = 7.0
+        tracer.emit(EventKind.TASK_FINISH, task="t")  # advances trace end
+        root = build_forest(tracer.events())[0]
+        assert root.unclosed
+        assert root.status == "unclosed"
+        assert root.close_time == 7.0
+
+    def test_orphan_marks_status_with_reason(self):
+        clock, tracer, spans = make_recorder()
+        ctx = spans.root_of("a")
+        clock[0] = 3.0
+        spans.orphan(ctx, reason="ManagerUnavailable")
+        root = build_forest(tracer.events())[0]
+        assert root.orphaned
+        assert root.status == "ManagerUnavailable"
+        assert root.close_time == 3.0
+
+
+class TestIntegrity:
+    def test_clean_lifecycle_has_no_violations(self):
+        assert span_integrity(build_lifecycle()) == []
+
+    def test_double_open_detected(self):
+        tracer = Tracer()
+        for _ in range(2):
+            tracer.emit(EventKind.SPAN_OPEN, span="task", span_id=1,
+                        parent_id=None, application="a")
+        assert any("opened twice" in v for v in span_integrity(tracer.events()))
+
+    def test_close_without_open_detected(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.SPAN_CLOSE, span="task", span_id=9,
+                    application="a", status="ok")
+        assert span_integrity(tracer.events()) == [
+            "span 9 (task) closed without an open"
+        ]
+
+    def test_close_after_orphan_detected(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.SPAN_OPEN, span="task", span_id=1,
+                    parent_id=None, application="a")
+        tracer.emit(EventKind.SPAN_ORPHAN, span="task", span_id=1,
+                    application="a", reason="crash")
+        tracer.emit(EventKind.SPAN_CLOSE, span="task", span_id=1,
+                    application="a", status="ok")
+        assert span_integrity(tracer.events()) == [
+            "span 1 (task) closed after already orphaned"
+        ]
+
+    def test_never_closed_detected(self):
+        tracer = Tracer()
+        tracer.emit(EventKind.SPAN_OPEN, span="task", span_id=4,
+                    parent_id=None, application="a")
+        assert span_integrity(tracer.events()) == [
+            "span 4 never closed and never orphan-marked"
+        ]
+
+
+class TestBreakdown:
+    def test_every_second_attributed_exactly_once(self):
+        report = explain(build_lifecycle())
+        info = report["apps"]["app"]
+        assert info["wall_s"] == 10.0
+        assert info["breakdown"] == {
+            "queue": 2.0, "scheduling": 1.0, "staging": 2.0,
+            "execution": 5.0, "retry": 0.0, "speculation": 0.0,
+            "other": 0.0,
+        }
+        assert info["breakdown_residual_s"] == 0.0
+        assert set(info["breakdown"]) == set(CATEGORIES)
+
+    def test_gaps_fall_into_other(self):
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        execute = spans.open(SpanKind.EXECUTE, "a", parent=root)
+        clock[0] = 4.0
+        spans.close(execute)
+        clock[0] = 6.0  # 2s of nothing before the root closes
+        spans.close_root("a")
+        breakdown = explain(tracer.events())["apps"]["a"]["breakdown"]
+        assert breakdown["execution"] == 4.0
+        assert breakdown["other"] == 2.0
+
+    def test_overlap_resolved_by_priority(self):
+        # execute (priority 1) overlaps speculate_backup entirely: the
+        # speculation category gets only its uncovered tail
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        execute = spans.open(SpanKind.EXECUTE, "a", parent=root)
+        clock[0] = 2.0
+        backup = spans.open(SpanKind.SPECULATE_BACKUP, "a", parent=root)
+        clock[0] = 5.0
+        spans.close(execute)
+        clock[0] = 6.0
+        spans.close(backup)
+        spans.close_root("a")
+        breakdown = explain(tracer.events())["apps"]["a"]["breakdown"]
+        assert breakdown["execution"] == 5.0
+        assert breakdown["speculation"] == 1.0
+
+    def test_sums_match_wall_on_irregular_floats(self):
+        # adversarial boundaries: irrational-ish floats must still
+        # partition the window exactly up to float associativity
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        t = 0.0
+        for i, kind in enumerate((SpanKind.STAGE_IN, SpanKind.EXECUTE,
+                                  SpanKind.RETRY_BACKOFF) * 3):
+            ctx = spans.open(kind, "a", parent=root)
+            t += math.sqrt(2 + i) / 3
+            clock[0] = t
+            spans.close(ctx)
+        clock[0] = t + 0.1
+        spans.close_root("a")
+        info = explain(tracer.events())["apps"]["a"]
+        assert abs(info["breakdown_residual_s"]) <= 1e-9
+        assert abs(sum(info["breakdown"].values()) - info["wall_s"]) <= 1e-9
+
+    def test_two_windows_sum_their_walls(self):
+        # a checkpoint-restarted app: two roots, one application
+        clock, tracer, spans = make_recorder()
+        first = spans.root_of("a")
+        clock[0] = 3.0
+        spans.abandon_app("a", reason="crash")
+        clock[0] = 5.0
+        spans.root_of("a")
+        clock[0] = 9.0
+        spans.close_root("a")
+        info = explain(tracer.events())["apps"]["a"]
+        assert info["windows"] == 2
+        assert info["wall_s"] == 3.0 + 4.0
+        assert first.span_id  # silence unused warning
+
+
+class TestCriticalPath:
+    def test_path_follows_last_closing_child(self):
+        path = explain(build_lifecycle())["apps"]["app"]["critical_path"]
+        assert [p["span"] for p in path] == [
+            SpanKind.APP, SpanKind.TASK, SpanKind.STAGE_OUT
+        ]
+        assert path[1]["task"] == "t1"
+
+    def test_tie_broken_by_smaller_span_id(self):
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        first = spans.open(SpanKind.TASK, "a", parent=root, task="first")
+        second = spans.open(SpanKind.TASK, "a", parent=root, task="second")
+        clock[0] = 4.0
+        spans.close(first)
+        spans.close(second)
+        spans.close_root("a")
+        path = explain(tracer.events())["apps"]["a"]["critical_path"]
+        assert path[1]["task"] == "first"
+        assert path[1]["span_id"] == first.span_id
+
+
+class TestReport:
+    def test_top_hosts_aggregate_execute_time(self):
+        report = explain(build_lifecycle())
+        assert report["top_hosts"] == [{"host": "h0", "execute_s": 5.0}]
+
+    def test_schema_version_stamped(self):
+        report = explain(build_lifecycle())
+        assert report["schema_version"] == ATTRIBUTION_SCHEMA_VERSION
+
+    def test_canonical_json_and_hash_are_stable(self):
+        a, b = explain(build_lifecycle()), explain(build_lifecycle())
+        assert report_to_json(a) == report_to_json(b)
+        assert report_hash(a) == report_hash(b)
+        assert report_to_json(a).endswith("\n")
+
+    def test_negative_zero_normalised(self):
+        assert '-0.0' not in report_to_json(
+            {"x": -0.0, "nested": [{"y": -1e-15}]}
+        )
+
+    def test_top_k_limits_tasks(self):
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        for i in range(8):
+            ctx = spans.open(SpanKind.TASK, "a", parent=root, task=f"t{i}")
+            clock[0] += 1.0
+            spans.close(ctx)
+        spans.close_root("a")
+        report = explain(tracer.events(), top=3)
+        info = report["apps"]["a"]
+        assert len(info["top_tasks"]) == 3
+        assert len(info["tasks"]) == 8
+        walls = [t["wall_s"] for t in info["top_tasks"]]
+        assert walls == sorted(walls, reverse=True)
+
+
+class TestProfile:
+    def test_self_time_subtracts_child_union(self):
+        root = build_forest(build_lifecycle())[0]
+        # root 0..10 fully covered by children except nothing: children
+        # cover 0..3 (wait+sched) and 3..10 (task) -> self 0
+        assert self_time(root) == 0.0
+        task = root.children[-1]
+        # task 3..10, children cover 3..10 contiguously -> self 0
+        assert self_time(task) == 0.0
+        execute = task.children[1]
+        assert self_time(execute) == 5.0
+
+    def test_folded_stacks_total_matches_wall(self):
+        events = build_lifecycle()
+        stacks = folded_stacks(events, prefix="bench")
+        assert all(key.startswith("bench;app:app") for key in stacks)
+        assert sum(stacks.values()) == pytest.approx(10e6)  # 10 s in µs
+        assert "bench;app:app;task:t1;execute" in stacks
+
+    def test_format_is_sorted_collapsed_stack_lines(self):
+        text = format_folded(folded_stacks(build_lifecycle()))
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            frames, value = line.rsplit(" ", 1)
+            assert frames
+            assert int(value) > 0
