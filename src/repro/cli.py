@@ -136,15 +136,32 @@ def cmd_run(args) -> int:
     if args.monitoring:
         env.start_monitoring()
     afg, payloads = _build_app(args.application, args.scale, args.seed)
+    admission_knobs = (
+        args.max_queued is not None or args.deadline is not None
+        or args.ttl is not None
+    )
+    if args.max_concurrent is None and admission_knobs:
+        print("error: --max-queued/--deadline/--ttl need --max-concurrent")
+        return 1
     if args.max_concurrent is not None:
         if args.journal:
             print("error: --max-concurrent cannot be combined with --journal")
             return 1
-        from repro.runtime.admission import AdmissionQueue
+        from repro.runtime.admission import (
+            AdmissionExpired,
+            AdmissionPolicy,
+            AdmissionQueue,
+            AdmissionRejected,
+        )
         from repro.scheduler import SiteScheduler
 
+        policy = None
+        if args.max_queued is not None or args.ttl is not None:
+            policy = AdmissionPolicy(max_queued=args.max_queued,
+                                     default_ttl_s=args.ttl)
         queue = AdmissionQueue(env.runtime,
-                               max_concurrent=args.max_concurrent)
+                               max_concurrent=args.max_concurrent,
+                               policy=policy)
         copies = [afg]
         for i in range(1, max(1, args.repeat)):
             copy, _ = _build_app(args.application, args.scale, args.seed)
@@ -154,25 +171,37 @@ def cmd_run(args) -> int:
             queue.submit(copy, "admin",
                          scheduler=SiteScheduler(k=args.k,
                                                  model=env.runtime.model),
-                         execute_payloads=payloads)
+                         execute_payloads=payloads,
+                         deadline_s=args.deadline)
             for copy in copies
         ]
 
         def drain():
             results = []
-            for signal in signals:
-                results.append((yield signal))
+            for copy, signal in zip(copies, signals):
+                try:
+                    results.append((copy.name, (yield signal)))
+                except (AdmissionRejected, AdmissionExpired) as exc:
+                    results.append((copy.name, exc))
             return results
 
-        results = env.sim.run_until_complete(
+        outcomes = env.sim.run_until_complete(
             env.sim.process(drain(), name="admission:batch"))
-        result = results[0]
+        results = [r for _, r in outcomes
+                   if not isinstance(r, Exception)]
         stats = env.runtime.stats
         print(f"admission: max_concurrent={args.max_concurrent}, "
-              f"{len(results)} application(s), "
+              f"{len(results)}/{len(outcomes)} application(s) admitted, "
               f"total queue wait {stats.queue_wait_s:.3f}s")
         for name in queue.admitted_order:
             print(f"  {name}: waited {stats.queue_waits[name]:.3f}s")
+        for name, outcome in outcomes:
+            if isinstance(outcome, Exception):
+                print(f"  {name}: SHED ({outcome})")
+        if not results:
+            print("error: every submission was shed")
+            return 1
+        result = results[0]
     elif args.journal:
         from repro.runtime.checkpoint import create_checkpoint_dir, journal_path
         from repro.scheduler import SiteScheduler
@@ -701,15 +730,20 @@ def cmd_chaos(args) -> int:
 
     from repro.sim.chaos import (
         ChaosConfig, run_campaign, slowdown_smoke_config, smoke_config,
+        storm_config,
     )
 
-    if args.smoke and args.slowdown_smoke:
-        print("error: --smoke and --slowdown-smoke are mutually exclusive")
+    presets = [args.smoke, args.slowdown_smoke, args.storm]
+    if sum(bool(p) for p in presets) > 1:
+        print("error: --smoke, --slowdown-smoke and --storm are "
+              "mutually exclusive")
         return 1
     if args.smoke:
         config = smoke_config(seed=args.seed)
     elif args.slowdown_smoke:
         config = slowdown_smoke_config(seed=args.seed)
+    elif args.storm:
+        config = storm_config(seed=args.seed)
     else:
         config = ChaosConfig(
             seed=args.seed,
@@ -742,13 +776,23 @@ def cmd_chaos(args) -> int:
               f"launched, {report.speculative_wins} won, "
               f"{report.speculative_wasted_s:.2f}s wasted; "
               f"quarantined: {report.quarantined_hosts or 'none'}")
+    if config.storm_apps:
+        print(f"  overload: {report.sheds} sheds, "
+              f"peak queue {report.peak_queued}/"
+              f"{config.storm_max_queued}, "
+              f"{report.brownout_shifts} brownout shifts, "
+              f"{report.breaker_transitions} breaker transitions "
+              f"({report.breaker_fast_fails} fast-fails)")
     for name in sorted(report.outcomes):
         outcome = report.outcomes[name]
         line = f"  {name}: {outcome['status']}"
         if outcome["status"] == "completed":
-            line += (f" (makespan {outcome['makespan_s']:.2f}s, "
-                     f"{outcome['reschedules']} reschedules, "
-                     f"{outcome['transfer_retries']} transfer retries)")
+            if "reschedules" in outcome:
+                line += (f" (makespan {outcome['makespan_s']:.2f}s, "
+                         f"{outcome['reschedules']} reschedules, "
+                         f"{outcome['transfer_retries']} transfer retries)")
+            else:
+                line += f" (makespan {outcome['makespan_s']:.2f}s)"
         else:
             line += f" ({outcome.get('error', '?')})"
         print(line)
@@ -906,6 +950,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repeat", type=int, default=1,
                      help="with --max-concurrent: submit N copies of the "
                           "application to exercise queueing")
+    run.add_argument("--max-queued", type=int, default=None,
+                     help="with --max-concurrent: bound the admission "
+                          "queue; overflow is shed deterministically")
+    run.add_argument("--deadline", type=float, default=None,
+                     help="with --max-concurrent: per-application deadline "
+                          "(seconds); expired-in-queue submissions fail")
+    run.add_argument("--ttl", type=float, default=None,
+                     help="with --max-concurrent: in-queue time-to-live "
+                          "(seconds) applied to every submission")
     run.add_argument("--journal", metavar="DIR",
                      help="checkpoint the application to DIR (meta.json + "
                           "repos/ + journal.jsonl); resume later with "
@@ -969,6 +1022,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--slowdown-smoke", action="store_true",
                        help="the straggler-defense campaign CI runs "
                             "(slowdowns + flapping, speculation on)")
+    chaos.add_argument("--storm", action="store_true",
+                       help="the overload campaign: an arrival storm "
+                            "against a bounded admission queue, with "
+                            "brownout and circuit breakers armed")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument("--hosts", type=int, default=4)

@@ -143,11 +143,20 @@ class EditorSession:
         name_or_afg,
         k: int = 2,
         execute_payloads: Optional[bool] = None,
+        admission=None,
+        deadline_s: Optional[float] = None,
+        ttl_s: Optional[float] = None,
     ) -> ApplicationResult:
         """Build (if needed), schedule and execute an application.
 
         ``k`` is a request; the account's access domain caps it (see
-        :meth:`effective_k`).
+        :meth:`effective_k`).  With ``admission`` (an
+        :class:`~repro.runtime.admission.AdmissionQueue`), the
+        submission goes through bounded admission under this account's
+        priority — it may raise
+        :class:`~repro.runtime.admission.AdmissionRejected` /
+        :class:`~repro.runtime.admission.AdmissionExpired` instead of
+        returning a result.  ``deadline_s``/``ttl_s`` only apply there.
         """
         self._check_open()
         if isinstance(name_or_afg, ApplicationFlowGraph):
@@ -157,12 +166,30 @@ class EditorSession:
         else:
             afg = self.application(name_or_afg).build()
         scheduler = SiteScheduler(k=self.effective_k(k), model=self.runtime.model)
-        result = self.runtime.submit(
-            afg,
-            scheduler,
-            submit_site=self.site,
-            execute_payloads=execute_payloads,
-        )
+        if admission is not None:
+            signal = admission.submit(
+                afg, self.account.user_name,
+                scheduler=scheduler,
+                execute_payloads=execute_payloads,
+                deadline_s=deadline_s, ttl_s=ttl_s,
+            )
+
+            def waiter():
+                value = yield signal
+                return value
+
+            result = self.runtime.sim.run_until_complete(
+                self.runtime.sim.process(
+                    waiter(), name=f"editor-submit:{afg.name}"
+                )
+            )
+        else:
+            result = self.runtime.submit(
+                afg,
+                scheduler,
+                submit_site=self.site,
+                execute_payloads=execute_payloads,
+            )
         self._results[afg.name] = result
         return result
 

@@ -46,15 +46,23 @@ from repro.afg.serialize import afg_to_dict
 from repro.afg.validate import AFGValidationError, validate_afg
 from repro.editor.builder import BuilderError
 from repro.editor.session import EditorSession, SessionError
-from repro.repository.users import AuthenticationError
+from repro.repository.users import AuthenticationError, UnknownUserError
+from repro.runtime.admission import AdmissionExpired, AdmissionRejected
 from repro.runtime.vdce_runtime import VDCERuntime
 from repro.scheduler.site_scheduler import SchedulingError
 
 __all__ = ["create_webapp"]
 
 
-def create_webapp(runtime: VDCERuntime, site: str | None = None):
-    """Build the Flask app serving one site's Application Editor."""
+def create_webapp(runtime: VDCERuntime, site: str | None = None,
+                  admission=None):
+    """Build the Flask app serving one site's Application Editor.
+
+    With ``admission`` (an
+    :class:`~repro.runtime.admission.AdmissionQueue`), submissions are
+    routed through bounded admission: shed submissions return 429 and
+    the submit JSON carries the queue's occupancy.
+    """
     if Flask is None:  # pragma: no cover
         raise ImportError(
             "flask is required for the web editor; install repro[web]"
@@ -87,6 +95,19 @@ def create_webapp(runtime: VDCERuntime, site: str | None = None):
     @app.errorhandler(KeyError)
     def missing_field(exc):
         return jsonify({"error": f"missing required field: {exc}"}), 400
+
+    @app.errorhandler(UnknownUserError)
+    def unknown_user(exc):
+        # more specific than the KeyError handler above: a submission
+        # under a nonexistent account is a permission problem, not a
+        # malformed request
+        return jsonify({"error": str(exc)}), 403
+
+    @app.errorhandler(AdmissionRejected)
+    @app.errorhandler(AdmissionExpired)
+    def admission_shed(exc):
+        # 429: the deployment is shedding load; retry later
+        return jsonify({"error": str(exc)}), 429
 
     @app.errorhandler(SchedulingError)
     def scheduling_error(exc):
@@ -265,9 +286,11 @@ def create_webapp(runtime: VDCERuntime, site: str | None = None):
             name,
             k=body.get("k", 2),
             execute_payloads=body.get("execute_payloads"),
+            admission=admission,
+            deadline_s=body.get("deadline_s"),
+            ttl_s=body.get("ttl_s"),
         )
-        return jsonify(
-            {
+        payload = {
                 "application": result.application,
                 "scheduler": result.scheduler,
                 "makespan_s": result.makespan,
@@ -287,7 +310,12 @@ def create_webapp(runtime: VDCERuntime, site: str | None = None):
                 "reschedules": result.reschedules,
                 "transfer_retries": result.transfer_retries,
                 "channel_reestablishes": result.channel_reestablishes,
+        }
+        if admission is not None:
+            payload["admission"] = {
+                "queued": admission.queued,
+                "running": admission.running,
             }
-        )
+        return jsonify(payload)
 
     return app

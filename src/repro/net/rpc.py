@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.sim.kernel import AnyOf, Simulator, Timeout
@@ -36,6 +36,10 @@ from repro.trace.events import EventKind
 from repro.trace.tracer import NULL_TRACER, Tracer
 
 __all__ = [
+    "BreakerPolicy",
+    "BreakerRegistry",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ControlPlane",
     "ManagerUnavailable",
     "RetryPolicy",
@@ -74,6 +78,233 @@ class ManagerUnavailable(RpcError):
         super().__init__(f"{role} {manager!r} is crashed")
         self.manager = manager
         self.role = role
+
+
+class CircuitOpenError(RpcTimeout):
+    """The circuit to the destination site is open: fail fast, no wire.
+
+    Subclasses :class:`RpcTimeout` (with ``attempts == 0``) so every
+    existing caller that turns an RPC timeout into site exclusion
+    handles a fast-failed request identically — the breaker just
+    delivers the verdict without burning timeouts and retries first.
+    """
+
+    def __init__(self, label: str, src_site: str, dst_site: str):
+        RpcError.__init__(
+            self,
+            f"rpc {label!r} fast-failed: circuit {src_site}->{dst_site} open",
+        )
+        self.label = label
+        self.attempts = 0
+        self.src_site = src_site
+        self.dst_site = dst_site
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-destination circuit-breaker knobs.
+
+    A breaker trips **open** when, over the last ``window`` completed
+    attempts (given at least ``min_samples``), the failure rate reaches
+    ``failure_threshold``.  While open every request fast-fails without
+    touching the wire, bounding retry amplification during partitions.
+    After ``open_duration_s`` the breaker goes **half-open** and lets
+    exactly one probe request through: success closes the circuit,
+    failure re-opens it for another full ``open_duration_s``.  All
+    transitions are driven by the virtual clock and the deterministic
+    request stream — no RNG.
+    """
+
+    window: int = 6
+    failure_threshold: float = 0.5
+    min_samples: int = 4
+    open_duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not (0.0 < self.failure_threshold <= 1.0):
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if not (1 <= self.min_samples <= self.window):
+            raise ValueError("need 1 <= min_samples <= window")
+        if self.open_duration_s <= 0:
+            raise ValueError("open_duration_s must be positive")
+
+
+class CircuitBreaker:
+    """Failure-rate window and state machine for one (src, dst) pair."""
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = "closed"
+        self.opened_at = 0.0
+        self._results: List[bool] = []  # True = attempt succeeded
+        self._probe_inflight = False
+
+    def allow(self, now: float) -> bool:
+        """May a request start now?  Drives open -> half-open."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now >= self.opened_at + self.policy.open_duration_s:
+                self.state = "half_open"
+                self._probe_inflight = True
+                return True
+            return False
+        # half-open: one probe at a time
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    def record_success(self, now: float) -> None:
+        self._probe_inflight = False
+        self._results.clear()
+        self.state = "closed"
+
+    def record_failure(self, now: float) -> bool:
+        """Account one failed request; True if the breaker (re-)opened."""
+        self._probe_inflight = False
+        if self.state == "half_open":
+            self.state = "open"
+            self.opened_at = now
+            self._results.clear()
+            return True
+        if self.state == "open":
+            return False
+        self._results.append(False)
+        if len(self._results) > self.policy.window:
+            del self._results[0]
+        failures = self._results.count(False)
+        if (len(self._results) >= self.policy.min_samples
+                and failures / len(self._results)
+                >= self.policy.failure_threshold):
+            self.state = "open"
+            self.opened_at = now
+            self._results.clear()
+            return True
+        return False
+
+    def record_closed_success(self) -> None:
+        """A success observed while closed feeds the window."""
+        self._results.append(True)
+        if len(self._results) > self.policy.window:
+            del self._results[0]
+
+
+class BreakerRegistry:
+    """All circuit breakers of one deployment, keyed by (src, dst) site.
+
+    Keeps the transition log and the per-link send log that the chaos
+    invariant I11 audits (*open circuit => no message sent on that link
+    that round*), emits ``breaker_*`` trace events, and maintains the
+    ``vdce_breaker_state`` gauge (0 closed, 1 half-open, 2 open).
+    """
+
+    _STATE_VALUE = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
+    _STATE_EVENT = {
+        "closed": EventKind.BREAKER_CLOSE,
+        "half_open": EventKind.BREAKER_HALF_OPEN,
+        "open": EventKind.BREAKER_OPEN,
+    }
+
+    def __init__(self, sim: Simulator, policy: BreakerPolicy = BreakerPolicy(),
+                 tracer: Tracer = NULL_TRACER):
+        self.sim = sim
+        self.policy = policy
+        self.tracer = tracer
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        #: (time, src, dst, new_state) per transition
+        self.transitions: List[Tuple[float, str, str, str]] = []
+        #: (time, src, dst) per request message put on the wire
+        self.send_log: List[Tuple[float, str, str]] = []
+        self.fast_fails = 0
+
+    def of(self, src_site: str, dst_site: str) -> CircuitBreaker:
+        key = (src_site, dst_site)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(self.policy)
+        return breaker
+
+    def _note_transition(self, src: str, dst: str, old: str, new: str) -> None:
+        if new == old:
+            return
+        self.transitions.append((self.sim.now, src, dst, new))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self._STATE_EVENT[new], source=f"breaker:{src}->{dst}",
+                src=src, dst=dst, previous=old,
+            )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.gauge(
+                "vdce_breaker_state",
+                "circuit breaker state per WAN link "
+                "(0 closed, 1 half-open, 2 open)",
+            ).set(self._STATE_VALUE[new], src=src, dst=dst)
+
+    def allow(self, src_site: str, dst_site: str) -> bool:
+        breaker = self.of(src_site, dst_site)
+        old = breaker.state
+        allowed = breaker.allow(self.sim.now)
+        self._note_transition(src_site, dst_site, old, breaker.state)
+        if not allowed:
+            self.fast_fails += 1
+        return allowed
+
+    def note_send(self, src_site: str, dst_site: str) -> None:
+        self.send_log.append((self.sim.now, src_site, dst_site))
+
+    def record_success(self, src_site: str, dst_site: str) -> None:
+        breaker = self.of(src_site, dst_site)
+        old = breaker.state
+        if old == "closed":
+            breaker.record_closed_success()
+        else:
+            breaker.record_success(self.sim.now)
+        self._note_transition(src_site, dst_site, old, breaker.state)
+
+    def record_failure(self, src_site: str, dst_site: str) -> None:
+        breaker = self.of(src_site, dst_site)
+        old = breaker.state
+        breaker.record_failure(self.sim.now)
+        self._note_transition(src_site, dst_site, old, breaker.state)
+
+    def open_intervals(
+        self, end_time: float
+    ) -> Dict[Tuple[str, str], List[Tuple[float, float]]]:
+        """Per-link [open, close-or-half-open) windows from the log."""
+        intervals: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        open_at: Dict[Tuple[str, str], float] = {}
+        for time, src, dst, state in self.transitions:
+            key = (src, dst)
+            if state == "open" and key not in open_at:
+                open_at[key] = time
+            elif state != "open" and key in open_at:
+                intervals.setdefault(key, []).append((open_at.pop(key), time))
+        for key, time in open_at.items():
+            intervals.setdefault(key, []).append((time, end_time))
+        return intervals
+
+    def open_violations(self, end_time: float) -> List[str]:
+        """I11 audit: sends that happened strictly inside an open window.
+
+        A send at the very instant the breaker opened preceded the
+        opening (same-timestamp ordering), and a send at the window's
+        end is the half-open probe — both are excluded by the strict
+        inequalities.
+        """
+        violations: List[str] = []
+        intervals = self.open_intervals(end_time)
+        for time, src, dst in self.send_log:
+            for start, end in intervals.get((src, dst), []):
+                if start < time < end:
+                    violations.append(
+                        f"message sent {src}->{dst} at {time:.3f} while the "
+                        f"circuit was open ({start:.3f}..{end:.3f})"
+                    )
+        return violations
 
 
 @dataclass(frozen=True)
@@ -156,6 +387,7 @@ class ControlPlane:
         policy: RetryPolicy = RetryPolicy(),
         tracer: Tracer = NULL_TRACER,
         spans: SpanRecorder = NULL_SPANS,
+        breakers: Optional[BreakerRegistry] = None,
     ):
         self.sim = sim
         self.network = network
@@ -163,6 +395,8 @@ class ControlPlane:
         self.policy = policy
         self.tracer = tracer
         self.spans = spans
+        #: per-destination circuit breakers; None = feature disabled
+        self.breakers = breakers
 
     # -- request/reply -----------------------------------------------------
 
@@ -213,7 +447,26 @@ class ControlPlane:
                 source=f"rpc:{src_site}", label=label, dst=dst_site,
             )
         rpc_source = f"rpc:{src_site}"
+        # WAN circuit breaker: while the circuit to the destination site
+        # is open, fail fast without putting anything on the wire
+        breaker = (
+            self.breakers if self.breakers is not None
+            and src_site != dst_site else None
+        )
         for attempt in range(1, policy.max_attempts + 1):
+            if breaker is not None and not breaker.allow(src_site, dst_site):
+                if rpc_span is not None:
+                    spans.close(
+                        rpc_span, source=rpc_source, status="circuit_open",
+                        attempts=attempt - 1,
+                    )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.RPC_TIMEOUT, source=rpc_source,
+                        label=label, dst=dst_site, attempts=attempt - 1,
+                        circuit_open=True,
+                    )
+                raise CircuitOpenError(label, src_site, dst_site)
             started = self.sim.now
             attempt_span = None
             if rpc_span is not None:
@@ -223,6 +476,8 @@ class ControlPlane:
                 )
             if on_send is not None:
                 on_send(attempt)
+            if breaker is not None:
+                breaker.note_send(src_site, dst_site)
             delivered = yield from self._leg(
                 src_host, dst_host, payload_mb, f"{label}:req",
                 policy, rng, started, transport,
@@ -250,6 +505,21 @@ class ControlPlane:
                     remaining = policy.timeout_s - (self.sim.now - started)
                     if remaining > 0:
                         yield Timeout(remaining)
+                except Exception:
+                    # a typed refusal (e.g. SiteOverloaded): the remote
+                    # answered, just not with a value — close the spans
+                    # before the exception propagates to the caller
+                    if attempt_span is not None:
+                        spans.close(
+                            attempt_span, source=rpc_source, status="error"
+                        )
+                        spans.close(
+                            rpc_span, source=rpc_source, status="error",
+                            attempts=attempt,
+                        )
+                    if breaker is not None:
+                        breaker.record_success(src_site, dst_site)
+                    raise
                 else:
                     if on_reply is not None:
                         on_reply(attempt)
@@ -264,9 +534,13 @@ class ControlPlane:
                             spans.close(
                                 rpc_span, source=rpc_source, attempts=attempt
                             )
+                        if breaker is not None:
+                            breaker.record_success(src_site, dst_site)
                         return value
             if attempt_span is not None:
                 spans.close(attempt_span, source=rpc_source, status="failed")
+            if breaker is not None:
+                breaker.record_failure(src_site, dst_site)
             if self.stats is not None:
                 self.stats.rpc_retries += 1
             if self.tracer.enabled:

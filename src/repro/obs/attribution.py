@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 #: version stamp of the explain report layout
-ATTRIBUTION_SCHEMA_VERSION = 1
+ATTRIBUTION_SCHEMA_VERSION = 2
 
 #: span kind -> wait-state category; None marks container spans whose
 #: time is attributed through their children
@@ -76,7 +76,8 @@ CATEGORY: Dict[str, Optional[str]] = {
 #: when several categories are active on one elementary segment, the
 #: highest-priority one owns it (earlier = higher)
 PRIORITY: Tuple[str, ...] = (
-    "execution", "staging", "retry", "speculation", "scheduling", "queue",
+    "execution", "staging", "retry", "speculation", "scheduling", "shed",
+    "queue",
 )
 
 #: every category a breakdown reports, in canonical order
@@ -254,6 +255,11 @@ def _category_intervals(root: SpanNode) -> List[Tuple[float, float, str]]:
     intervals = []
     for node in root.walk():
         category = CATEGORY.get(node.kind)
+        if (node.kind == SpanKind.ADMISSION_WAIT
+                and node.status in ("shed", "expired")):
+            # the wait ended in a shed, not an admission: that time was
+            # spent being overloaded, not waiting for a slot
+            category = "shed"
         if category is not None and node.end > node.open_time:
             intervals.append((node.open_time, node.end, category))
     return intervals

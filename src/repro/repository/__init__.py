@@ -21,6 +21,7 @@ databases are:
 from repro.repository.users import (
     AccessDomain,
     AuthenticationError,
+    UnknownUserError,
     UserAccount,
     UserAccountsDB,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "TaskConstraintsDB",
     "TaskPerfRecord",
     "TaskPerformanceDB",
+    "UnknownUserError",
     "UserAccount",
     "UserAccountsDB",
     "load_repository",

@@ -20,11 +20,33 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["AccessDomain", "AuthenticationError", "UserAccount", "UserAccountsDB"]
+__all__ = [
+    "AccessDomain",
+    "AuthenticationError",
+    "UnknownUserError",
+    "UserAccount",
+    "UserAccountsDB",
+]
 
 
 class AuthenticationError(RuntimeError):
     """Bad user name or password (message does not say which)."""
+
+
+class UnknownUserError(KeyError):
+    """No account with that user name exists.
+
+    Subclasses :class:`KeyError` so existing ``except KeyError`` sites
+    (and tests pinning that contract) keep working, while admission and
+    the web editor can map it to a typed rejection instead of crashing.
+    """
+
+    def __init__(self, user_name: str):
+        super().__init__(f"unknown user {user_name!r}")
+        self.user_name = user_name
+
+    def __str__(self) -> str:
+        return f"unknown user {self.user_name!r}"
 
 
 class AccessDomain(enum.Enum):
@@ -121,11 +143,11 @@ class UserAccountsDB:
         try:
             return self._accounts[user_name]
         except KeyError:
-            raise KeyError(f"unknown user {user_name!r}") from None
+            raise UnknownUserError(user_name) from None
 
     def remove(self, user_name: str) -> None:
         if user_name not in self._accounts:
-            raise KeyError(f"unknown user {user_name!r}")
+            raise UnknownUserError(user_name)
         del self._accounts[user_name]
 
     def set_priority(self, user_name: str, priority: int) -> UserAccount:

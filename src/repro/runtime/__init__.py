@@ -44,7 +44,17 @@ from repro.runtime.execution import (
 from repro.runtime.services import ConsoleService, IOService, StagedFile
 from repro.runtime.vdce_runtime import RuntimeConfig, VDCERuntime
 from repro.runtime.dsm import DSM, DSMError
-from repro.runtime.admission import AdmissionQueue
+from repro.runtime.admission import (
+    AdmissionExpired,
+    AdmissionPolicy,
+    AdmissionQueue,
+    AdmissionRejected,
+)
+from repro.runtime.overload import (
+    BrownoutController,
+    OverloadPolicy,
+    SiteOverloaded,
+)
 from repro.runtime.data_manager import LocalDataManager, RealExecutionReport
 from repro.runtime.straggler import (
     HealthPolicy,
@@ -55,9 +65,13 @@ from repro.runtime.straggler import (
 )
 
 __all__ = [
+    "AdmissionExpired",
+    "AdmissionPolicy",
     "AdmissionQueue",
+    "AdmissionRejected",
     "AppController",
     "ApplicationResult",
+    "BrownoutController",
     "ConsoleService",
     "DSM",
     "DSMError",
@@ -69,12 +83,14 @@ __all__ = [
     "IOService",
     "LocalDataManager",
     "MonitorDaemon",
+    "OverloadPolicy",
     "PhiAccrualDetector",
     "RatioTracker",
     "RealExecutionReport",
     "RuntimeConfig",
     "RuntimeStats",
     "SiteManager",
+    "SiteOverloaded",
     "SpeculationPolicy",
     "StagedFile",
     "TaskRecord",

@@ -6,24 +6,124 @@ field (§3).  This module is where the two meet: applications submitted
 to a site enter an admission queue ordered by user priority (higher
 first, FIFO within a priority), and at most ``max_concurrent``
 applications execute at once.
+
+On top of that baseline, an optional :class:`AdmissionPolicy` turns the
+queue into a bounded, deadline-aware admission controller (the Nimrod/G
+discipline: admit against declared deadlines, reject work that provably
+cannot be served rather than queueing it forever):
+
+* ``max_queued`` bounds the queue; on overflow the *worst* queued entry
+  (lowest priority, then latest deadline, then latest arrival) is shed
+  in favour of a better newcomer, or the newcomer itself is rejected —
+  deterministically, no RNG.
+* per-user token-bucket **rate limits** and queued-entry **quotas**,
+  driven by the existing users DB;
+* per-application **deadlines/TTLs**: an entry still queued when its
+  TTL or deadline passes is expired in place — it was never going to
+  meet its QoS contract, so it fails fast instead of starving others.
+
+Rejections fail the submit :class:`~repro.sim.kernel.Signal` with typed
+:class:`AdmissionRejected` / :class:`AdmissionExpired` errors.  With no
+policy (the default) behaviour, traces and hashes are exactly the
+unbounded queue's.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.afg.graph import ApplicationFlowGraph
 from repro.obs.spans import SpanContext, SpanKind
 from repro.scheduler.site_scheduler import SiteScheduler
 from repro.sim.kernel import Signal, Simulator
+from repro.trace.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.vdce_runtime import VDCERuntime
 
-__all__ = ["AdmissionQueue"]
+__all__ = [
+    "AdmissionExpired",
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "AdmissionRejected",
+]
+
+
+class AdmissionRejected(RuntimeError):
+    """The submission was refused at the door (never queued or shed)."""
+
+    def __init__(self, application: str, user: str, reason: str):
+        super().__init__(
+            f"application {application!r} rejected at admission ({reason})"
+        )
+        self.application = application
+        self.user = user
+        self.reason = reason
+
+
+class AdmissionExpired(RuntimeError):
+    """The submission sat queued past its TTL/deadline and was expired."""
+
+    def __init__(self, application: str, user: str, waited_s: float):
+        super().__init__(
+            f"application {application!r} expired in the admission queue "
+            f"after {waited_s:.3f}s"
+        )
+        self.application = application
+        self.user = user
+        self.waited_s = waited_s
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded-admission knobs; every field ``None`` = that check off."""
+
+    #: queue bound; on overflow the worst entry is shed (None = unbounded)
+    max_queued: Optional[int] = None
+    #: per-user token-bucket refill rate, submissions per second
+    user_rate_per_s: Optional[float] = None
+    #: token-bucket burst capacity (only meaningful with a rate)
+    user_burst: int = 2
+    #: max entries one user may have queued at once (None = unlimited)
+    user_max_queued: Optional[int] = None
+    #: default in-queue TTL applied when a submission carries none
+    default_ttl_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queued is not None and self.max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        if self.user_rate_per_s is not None and self.user_rate_per_s <= 0:
+            raise ValueError("user_rate_per_s must be positive")
+        if self.user_burst < 1:
+            raise ValueError("user_burst must be >= 1")
+        if self.user_max_queued is not None and self.user_max_queued < 1:
+            raise ValueError("user_max_queued must be >= 1")
+        if self.default_ttl_s is not None and self.default_ttl_s <= 0:
+            raise ValueError("default_ttl_s must be positive")
+
+
+class _TokenBucket:
+    """Deterministic token bucket on the virtual clock."""
+
+    def __init__(self, rate: float, burst: int):
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last = 0.0
+
+    def take(self, now: float) -> bool:
+        self.tokens = min(
+            self.burst, self.tokens + (now - self.last) * self.rate
+        )
+        self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
 
 
 @dataclass(order=True)
@@ -35,23 +135,47 @@ class _Pending:
     submitted_at: float = field(compare=False, default=0.0)
     execute_payloads: Optional[bool] = field(compare=False, default=None)
     wait_span: Optional[SpanContext] = field(compare=False, default=None)
+    user: str = field(compare=False, default="")
+    priority: int = field(compare=False, default=0)
+    deadline_at: Optional[float] = field(compare=False, default=None)
+    state: str = field(compare=False, default="queued")
+
+    @property
+    def badness(self) -> tuple:
+        """Shed order: lowest priority, latest deadline, latest arrival.
+
+        The queued entry with the *maximum* badness is the overflow
+        victim; a newcomer only displaces it if strictly better.
+        """
+        deadline = self.deadline_at if self.deadline_at is not None else math.inf
+        return (-self.priority, deadline, self.sort_key[1])
 
 
 class AdmissionQueue:
     """Serialise application launches by priority at one site."""
 
     def __init__(self, runtime: "VDCERuntime", max_concurrent: int = 1,
-                 site: Optional[str] = None):
+                 site: Optional[str] = None,
+                 policy: Optional[AdmissionPolicy] = None):
         if max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         self.runtime = runtime
         self.sim: Simulator = runtime.sim
         self.site = site or runtime.default_site
         self.max_concurrent = max_concurrent
+        self.policy = policy
         self._heap: List[_Pending] = []
         self._seq = itertools.count()
         self._running = 0
         self.admitted_order: List[str] = []
+        #: deepest the queue ever got (the I10 bound witness)
+        self.peak_queued = 0
+        #: every shed/expiry, in order: time, application, user, reason
+        self.shed_log: List[Dict[str, Any]] = []
+        self._buckets: Dict[str, _TokenBucket] = {}
+        queues = getattr(runtime, "admission_queues", None)
+        if queues is not None:
+            queues.append(self)
 
     def submit(
         self,
@@ -59,35 +183,88 @@ class AdmissionQueue:
         user: str,
         scheduler: Optional[SiteScheduler] = None,
         execute_payloads: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
+        ttl_s: Optional[float] = None,
     ) -> Signal:
         """Enqueue an application under ``user``'s priority.
 
         Returns a signal that succeeds with the
         :class:`~repro.runtime.execution.ApplicationResult` when the
-        application finishes (or fails with its error).
+        application finishes (or fails with its error — including
+        :class:`AdmissionRejected` / :class:`AdmissionExpired` when the
+        admission policy sheds it).  ``deadline_s`` / ``ttl_s`` are
+        relative to now; an entry still queued when either passes is
+        expired in place.
         """
         account = self.runtime.repositories[self.site].users.get(user)
         done = self.sim.signal(f"admission:{afg.name}")
+        now = self.sim.now
+        policy = self.policy
+        if policy is not None:
+            brownout = getattr(self.runtime, "brownout", None)
+            if brownout is not None and brownout.refuse_new_work():
+                return self._reject(afg, user, "brownout", done)
+            if policy.user_max_queued is not None:
+                queued_by_user = sum(
+                    1 for e in self._heap if e.user == user
+                )
+                if queued_by_user >= policy.user_max_queued:
+                    return self._reject(afg, user, "quota", done)
+            if policy.user_rate_per_s is not None:
+                bucket = self._buckets.get(user)
+                if bucket is None:
+                    bucket = self._buckets[user] = _TokenBucket(
+                        policy.user_rate_per_s, policy.user_burst
+                    )
+                    bucket.last = now
+                if not bucket.take(now):
+                    return self._reject(afg, user, "rate", done)
+
+        deadline_at = now + deadline_s if deadline_s is not None else None
         wait_span = None
         spans = self.runtime.spans
-        if spans.enabled:
-            root = spans.root_of(afg.name, source=f"admission:{self.site}")
-            wait_span = spans.open(
-                SpanKind.ADMISSION_WAIT, afg.name, parent=root,
-                source=f"admission:{self.site}", priority=account.priority,
-            )
         entry = _Pending(
             # heap is a min-heap: negate priority so higher goes first
             sort_key=(-account.priority, next(self._seq)),
             afg=afg,
             scheduler=scheduler,
             done=done,
-            submitted_at=self.sim.now,
+            submitted_at=now,
             execute_payloads=execute_payloads,
-            wait_span=wait_span,
+            wait_span=None,
+            user=user,
+            priority=account.priority,
+            deadline_at=deadline_at,
         )
+        if policy is not None and policy.max_queued is not None:
+            if len(self._heap) >= policy.max_queued:
+                victim = max(self._heap, key=lambda e: e.badness)
+                if victim.badness > entry.badness:
+                    self._shed_queued(victim, "queue_full")
+                else:
+                    return self._reject(afg, user, "queue_full", done)
+        if spans.enabled:
+            root = spans.root_of(afg.name, source=f"admission:{self.site}")
+            wait_span = spans.open(
+                SpanKind.ADMISSION_WAIT, afg.name, parent=root,
+                source=f"admission:{self.site}", priority=account.priority,
+            )
+            entry.wait_span = wait_span
         heapq.heappush(self._heap, entry)
-        self.sim.call_at(self.sim.now, self._dispatch)
+        self.peak_queued = max(self.peak_queued, len(self._heap))
+        expire_at = None
+        if ttl_s is not None:
+            expire_at = now + ttl_s
+        elif policy is not None and policy.default_ttl_s is not None:
+            expire_at = now + policy.default_ttl_s
+        if deadline_at is not None:
+            expire_at = (
+                deadline_at if expire_at is None
+                else min(expire_at, deadline_at)
+            )
+        if expire_at is not None:
+            self.sim.call_at(expire_at, lambda: self._expire(entry))
+        self.sim.call_at(now, self._dispatch)
         return done
 
     @property
@@ -98,9 +275,92 @@ class AdmissionQueue:
     def running(self) -> int:
         return self._running
 
+    # -- shedding ---------------------------------------------------------
+
+    def _record_shed(self, afg: ApplicationFlowGraph, user: str,
+                     reason: str, waited_s: float = 0.0) -> None:
+        self.shed_log.append({
+            "time": round(self.sim.now, 9),
+            "application": afg.name,
+            "user": user,
+            "reason": reason,
+        })
+        tracer = self.runtime.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventKind.SHED, source=f"admission:{self.site}",
+                application=afg.name, user=user, reason=reason,
+                waited_s=round(waited_s, 9),
+            )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "vdce_shed_total",
+                "submissions shed by the admission controller, by reason",
+            ).inc(reason=reason, site=self.site)
+
+    def _reject(self, afg: ApplicationFlowGraph, user: str, reason: str,
+                done: Signal) -> Signal:
+        """Refuse a submission at the door (it never entered the queue)."""
+        self._record_shed(afg, user, reason)
+        done.fail(AdmissionRejected(afg.name, user, reason))
+        return done
+
+    def _shed_queued(self, entry: _Pending, reason: str) -> None:
+        """Evict a queued entry (overflow preemption by a better arrival)."""
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        entry.state = "shed"
+        waited = self.sim.now - entry.submitted_at
+        self._record_shed(entry.afg, entry.user, reason, waited_s=waited)
+        spans = self.runtime.spans
+        if entry.wait_span is not None:
+            spans.close(
+                entry.wait_span, source=f"admission:{self.site}",
+                status="shed", wait_s=waited,
+            )
+            spans.close_root(
+                entry.afg.name, source=f"admission:{self.site}", status="shed"
+            )
+        entry.done.fail(
+            AdmissionRejected(entry.afg.name, entry.user, reason)
+        )
+
+    def _expire(self, entry: _Pending) -> None:
+        """TTL/deadline timer: expire the entry if it is still queued."""
+        if entry.state != "queued" or entry not in self._heap:
+            return
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        entry.state = "expired"
+        waited = self.sim.now - entry.submitted_at
+        self._record_shed(entry.afg, entry.user, "expired", waited_s=waited)
+        spans = self.runtime.spans
+        if entry.wait_span is not None:
+            spans.close(
+                entry.wait_span, source=f"admission:{self.site}",
+                status="expired", wait_s=waited,
+            )
+            spans.close_root(
+                entry.afg.name, source=f"admission:{self.site}",
+                status="expired",
+            )
+        entry.done.fail(
+            AdmissionExpired(entry.afg.name, entry.user, waited)
+        )
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _concurrency_limit(self) -> int:
+        brownout = getattr(self.runtime, "brownout", None)
+        if brownout is not None:
+            return brownout.concurrency_limit(self.max_concurrent)
+        return self.max_concurrent
+
     def _dispatch(self) -> None:
-        while self._heap and self._running < self.max_concurrent:
+        while self._heap and self._running < self._concurrency_limit():
             entry = heapq.heappop(self._heap)
+            entry.state = "running"
             self._running += 1
             self.admitted_order.append(entry.afg.name)
             wait = self.sim.now - entry.submitted_at

@@ -1015,6 +1015,8 @@ class ExecutionCoordinator:
                     self.speculation is not None
                     and len(executions) == 1
                     and assignment.predicted_time > 0
+                    and (self.runtime.brownout is None
+                         or self.runtime.brownout.speculation_allowed())
                 ):
                     yield from self._race_with_backup(
                         node, record, executions[0], span_work, memory_mb,

@@ -421,6 +421,20 @@ class GroupManager:
                     self._send_report(
                         lambda h=host.name: self.site_manager.receive_recovery(h)
                     )
+            brownout = self.site_manager.brownout
+            if brownout is not None and self.alive:
+                # backpressure input: this round's believed-up run-queue
+                # lengths, normalised by the saturation threshold.  Rides
+                # the echo bookkeeping — no messages, no RNG draws.
+                loads = [
+                    h.load_average() for h in self.group
+                    if self._believed_up[h.name]
+                ]
+                occupancy = (
+                    (sum(loads) / len(loads)) / brownout.policy.saturation_load
+                    if loads else 0.0
+                )
+                self.site_manager.receive_occupancy(self.name, occupancy)
 
     def _echo_rtt(self, host) -> float:
         """Echo round-trip time: two LAN hops, stretched by slowdown.

@@ -1,0 +1,180 @@
+"""Backpressure and brownout: graceful degradation under federation load.
+
+The paper promises QoS management over shared resources (§1), but its
+prototype control plane had no notion of *too much work*: every AFG
+multicast got a bid, every submission got a slot eventually.  This
+module adds the missing degradation ladder, modelled on how the grid
+systems that followed VDCE (and every modern admission-controlled
+service) survive arrival storms:
+
+* Group Managers fold their echo round's per-host run-queue lengths
+  into a per-group **occupancy** signal (load relative to the
+  saturation threshold) that rides the existing echo bookkeeping — zero
+  extra messages, zero RNG draws.
+* Site Managers aggregate group occupancy and **exclude themselves
+  from bidding** once saturated (:class:`SiteOverloaded`), so remote
+  schedulers stop routing new work at a sick site instead of timing
+  out against it.
+* The federation-wide :class:`BrownoutController` maps mean occupancy
+  onto a **brownout level** that progressively sheds optional work
+  before refusing any:
+
+  ========  ==========================  =================================
+  level     trigger (mean occupancy)    effect
+  ========  ==========================  =================================
+  0 normal  below ``brownout_degraded`` none
+  1 degraded ``>= brownout_degraded``   speculation disabled
+  2 severe  ``>= brownout_severe``      + admission concurrency shrunk
+  3 critical ``>= brownout_critical``   + new submissions refused
+  ========  ==========================  =================================
+
+Everything here is pure bookkeeping on the virtual clock — no RNG, no
+yields — and defaults off (``RuntimeConfig.overload is None``), so
+existing traces, metrics snapshots and benchmark hashes are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.net.rpc import RpcError
+from repro.trace.events import EventKind
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+__all__ = ["BrownoutController", "OverloadPolicy", "SiteOverloaded"]
+
+
+class SiteOverloaded(RpcError):
+    """A saturated site declined to bid (backpressure, not failure).
+
+    Raised by :meth:`~repro.runtime.site_manager.SiteManager.
+    handle_scheduling_request` when the site's occupancy crosses the
+    bid-exclusion threshold; the scheduling exchange treats it like an
+    unreachable site (placement proceeds with whoever answered).
+    """
+
+    def __init__(self, site: str, occupancy: float):
+        super().__init__(
+            f"site {site!r} is overloaded (occupancy {occupancy:.2f})"
+        )
+        self.site = site
+        self.occupancy = occupancy
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Thresholds of the degradation ladder (all occupancy fractions)."""
+
+    #: run-queue length at which one host counts as fully occupied
+    saturation_load: float = 4.0
+    #: site occupancy at which the site stops answering bid requests
+    bid_exclusion_occupancy: float = 1.0
+    #: mean federation occupancy entering brownout level 1 (degraded)
+    brownout_degraded: float = 0.7
+    #: level 2 (severe): admission concurrency shrinks
+    brownout_severe: float = 0.85
+    #: level 3 (critical): new submissions are refused
+    brownout_critical: float = 0.95
+    #: multiplier applied to admission ``max_concurrent`` at level >= 2
+    concurrency_shrink: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.saturation_load <= 0:
+            raise ValueError("saturation_load must be positive")
+        if self.bid_exclusion_occupancy <= 0:
+            raise ValueError("bid_exclusion_occupancy must be positive")
+        if not (0.0 < self.brownout_degraded < self.brownout_severe
+                < self.brownout_critical):
+            raise ValueError(
+                "need 0 < brownout_degraded < brownout_severe "
+                "< brownout_critical"
+            )
+        if not (0.0 < self.concurrency_shrink <= 1.0):
+            raise ValueError("concurrency_shrink must be in (0, 1]")
+
+
+class BrownoutController:
+    """Federation brownout level from per-group occupancy reports.
+
+    Site Managers feed :meth:`update` from their Group Managers' echo
+    rounds; the controller recomputes the mean occupancy and walks the
+    level up or down, emitting one ``brownout`` trace event (and gauge
+    update) per level change — never per report, so the signal stays
+    cheap and the trace readable.
+    """
+
+    def __init__(self, sim, policy: OverloadPolicy,
+                 tracer: Tracer = NULL_TRACER):
+        self.sim = sim
+        self.policy = policy
+        self.tracer = tracer
+        #: latest occupancy per (site, group)
+        self._occupancy: Dict[Tuple[str, str], float] = {}
+        self.level = 0
+        #: (time, old_level, new_level) per transition
+        self.shifts: List[Tuple[float, int, int]] = []
+
+    # -- inputs ------------------------------------------------------------
+
+    def update(self, site: str, group: str, occupancy: float) -> None:
+        self._occupancy[(site, group)] = float(occupancy)
+        new_level = self._level_for(self.federation_occupancy())
+        if new_level == self.level:
+            return
+        old, self.level = self.level, new_level
+        self.shifts.append((self.sim.now, old, new_level))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.BROWNOUT, source="brownout",
+                level=new_level, previous=old,
+                occupancy=round(self.federation_occupancy(), 9),
+            )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.gauge(
+                "vdce_brownout_level",
+                "federation brownout level (0 normal .. 3 critical)",
+            ).set(float(new_level))
+
+    # -- readouts ----------------------------------------------------------
+
+    def federation_occupancy(self) -> float:
+        if not self._occupancy:
+            return 0.0
+        return sum(self._occupancy.values()) / len(self._occupancy)
+
+    def occupancy_of_site(self, site: str) -> float:
+        values = [v for (s, _g), v in self._occupancy.items() if s == site]
+        return sum(values) / len(values) if values else 0.0
+
+    def _level_for(self, occupancy: float) -> int:
+        if occupancy >= self.policy.brownout_critical:
+            return 3
+        if occupancy >= self.policy.brownout_severe:
+            return 2
+        if occupancy >= self.policy.brownout_degraded:
+            return 1
+        return 0
+
+    # -- the degradation ladder --------------------------------------------
+
+    def speculation_allowed(self) -> bool:
+        """Level >= 1: backup copies are optional work — shed them first."""
+        return self.level < 1
+
+    def concurrency_limit(self, base: int) -> int:
+        """Level >= 2: shrink admission concurrency (never below 1)."""
+        if self.level < 2:
+            return base
+        return max(1, int(base * self.policy.concurrency_shrink))
+
+    def refuse_new_work(self) -> bool:
+        """Level 3: admission refuses new submissions outright."""
+        return self.level >= 3
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BrownoutController(level={self.level}, "
+            f"occupancy={self.federation_occupancy():.2f})"
+        )

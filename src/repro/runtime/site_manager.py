@@ -21,6 +21,7 @@ from repro.net.rpc import ManagerUnavailable
 from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
 from repro.repository.store import SiteRepository
 from repro.runtime.monitor import Measurement
+from repro.runtime.overload import SiteOverloaded
 from repro.runtime.stats import RuntimeStats
 from repro.scheduler.allocation import AllocationTable
 from repro.scheduler.host_selection import HostSelectionResult, select_hosts
@@ -50,6 +51,7 @@ class SiteManager:
         tracer: Tracer = NULL_TRACER,
         health=None,
         spans: SpanRecorder = NULL_SPANS,
+        brownout=None,
     ):
         self.sim = sim
         self.site = site
@@ -61,6 +63,11 @@ class SiteManager:
         #: optional HostHealth: quarantine + prediction penalties folded
         #: into every host selection this site performs
         self.health = health
+        #: optional BrownoutController; when set, Group Managers feed
+        #: per-group occupancy here and saturated sites refuse to bid
+        self.brownout = brownout
+        #: latest occupancy per group (load / saturation threshold)
+        self._occupancy: Dict[str, float] = {}
         self.group_managers: Dict[str, "GroupManager"] = {}
         self.app_controllers: Dict[str, "AppController"] = {}
         #: peers for inter-site coordination, filled by VDCERuntime
@@ -144,6 +151,19 @@ class SiteManager:
                 "vdce_site_queue_depth",
                 "per-host run-queue length as known at the Site Manager",
             ).observe(measurement.load, site=self.name, host=measurement.host)
+
+    def receive_occupancy(self, group: str, occupancy: float) -> None:
+        """Fold a Group Manager's echo-round occupancy into backpressure."""
+        self._occupancy[group] = float(occupancy)
+        if self.brownout is not None:
+            self.brownout.update(self.name, group, occupancy)
+
+    @property
+    def occupancy(self) -> float:
+        """Site occupancy: mean of the groups' latest reports (0 = idle)."""
+        if not self._occupancy:
+            return 0.0
+        return sum(self._occupancy.values()) / len(self._occupancy)
 
     def receive_failure(self, host_name: str) -> None:
         """Mark the host "down" at the site's resource-performance DB."""
@@ -273,6 +293,12 @@ class SiteManager:
         """
         if not self.alive:
             raise ManagerUnavailable(self.name)
+        if (self.brownout is not None
+                and self.occupancy
+                >= self.brownout.policy.bid_exclusion_occupancy):
+            # backpressure: a saturated site excludes itself from bidding
+            # instead of attracting work it cannot serve
+            raise SiteOverloaded(self.name, self.occupancy)
         return select_hosts(
             afg, self.repository, model,
             tracer=self.tracer, metrics=self.sim.metrics,

@@ -26,8 +26,19 @@ from typing import Dict, List, Mapping, Optional
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.serialize import afg_to_json
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
-from repro.net.rpc import ControlPlane, RetryPolicy, RpcTimeout
+from repro.net.rpc import (
+    BreakerPolicy,
+    BreakerRegistry,
+    ControlPlane,
+    RetryPolicy,
+    RpcTimeout,
+)
 from repro.obs.spans import NULL_SPANS, SpanKind, SpanRecorder
+from repro.runtime.overload import (
+    BrownoutController,
+    OverloadPolicy,
+    SiteOverloaded,
+)
 from repro.repository.store import SiteRepository
 from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
@@ -111,6 +122,11 @@ class RuntimeConfig:
     #: Off by default — the disabled recorder is a shared null object and
     #: fault-free traces/hashes are byte-identical either way.
     causal_spans: bool = False
+    #: backpressure + brownout ladder (None = disabled: no occupancy
+    #: bookkeeping, no bid exclusion, traces/hashes unchanged)
+    overload: Optional[OverloadPolicy] = None
+    #: per-WAN-link RPC circuit breakers (None = disabled)
+    breaker: Optional[BreakerPolicy] = None
 
     def __post_init__(self) -> None:
         if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
@@ -169,11 +185,27 @@ class VDCERuntime:
             if config.causal_spans and self.tracer.enabled
             else NULL_SPANS
         )
+        #: federation brownout controller (overload backpressure); None
+        #: when the overload policy is disabled
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(self.sim, config.overload, tracer=self.tracer)
+            if config.overload is not None
+            else None
+        )
+        #: per-WAN-link circuit breakers; None when disabled
+        self.breakers: Optional[BreakerRegistry] = (
+            BreakerRegistry(self.sim, config.breaker, tracer=self.tracer)
+            if config.breaker is not None
+            else None
+        )
+        #: admission queues register themselves here so metrics export
+        #: can surface their depth/occupancy gauges
+        self.admission_queues: List = []
         #: retrying control-plane messaging shared by every component
         self.control = ControlPlane(
             self.sim, topology.network, stats=self.stats,
             policy=config.rpc_policy, tracer=self.tracer,
-            spans=self.spans,
+            spans=self.spans, breakers=self.breakers,
         )
         #: host health scoring (straggler defense); None when disabled
         self.health: Optional[HostHealth] = (
@@ -209,6 +241,7 @@ class VDCERuntime:
                 tracer=self.tracer,
                 health=self.health,
                 spans=self.spans,
+                brownout=self.brownout,
             )
             self.site_managers[site_name] = manager
             for group in site.groups.values():
@@ -290,6 +323,18 @@ class VDCERuntime:
             ).set(
                 self.stats.workload_suppressed / reports if reports else 0.0
             )
+            if self.admission_queues:
+                queued = self.metrics.gauge(
+                    "vdce_admission_queued",
+                    "applications waiting in the admission queue",
+                )
+                running = self.metrics.gauge(
+                    "vdce_admission_running",
+                    "applications admitted and currently executing",
+                )
+                for queue in self.admission_queues:
+                    queued.set(float(queue.queued), site=queue.site)
+                    running.set(float(queue.running), site=queue.site)
         return self.metrics
 
     def neighbor_order(self, site_name: str) -> List[str]:
@@ -396,6 +441,21 @@ class VDCERuntime:
                     on_send=on_send, on_reply=on_reply,
                     span=bid_span,
                 )
+            except SiteOverloaded as exc:
+                # backpressure: the saturated site declined to bid.  Not
+                # a failure — placement proceeds with whoever answered.
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        EventKind.SITE_OVERLOADED, source=f"sm:{local_site}",
+                        application=afg.name, remote=remote,
+                        occupancy=round(exc.occupancy, 9),
+                    )
+                if bid_span is not None:
+                    self.spans.close(
+                        bid_span, source=f"sm:{local_site}",
+                        status="overloaded",
+                    )
+                return None
             except RpcTimeout:
                 if self.tracer.enabled:
                     self.tracer.emit(

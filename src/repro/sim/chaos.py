@@ -42,6 +42,13 @@ I9 — *span integrity* (only audited with ``causal_spans=True``): every
      orphan-marked when its application dies or the campaign ends with
      work in flight — the trace never contains a silently leaked,
      double-closed, or never-opened span.
+I10 — *bounded admission* (only with ``storm_apps > 0``): the admission
+     queue's depth never exceeds its configured bound, and every
+     submitted storm application reaches a terminal outcome — admitted
+     (completed/failed), rejected, or expired.  Nothing queues forever.
+I11 — *breaker silence* (only with ``breakers=True``): while a circuit
+     is open, no message is sent on that link — every send either
+     precedes the trip or is the half-open probe at window end.
 
 Campaigns can also inject *performance* faults — scripted host
 slowdowns and stochastic slow/normal flapping — and enable the
@@ -73,6 +80,7 @@ __all__ = [
     "run_campaign",
     "slowdown_smoke_config",
     "smoke_config",
+    "storm_config",
 ]
 
 #: worst-case lag between a Group Manager detection and the repository
@@ -139,6 +147,29 @@ class ChaosConfig:
     # configs' traces keep their committed shape; on, the I9 span
     # integrity invariant is audited as part of the campaign
     causal_spans: bool = False
+    # arrival storm through a bounded admission queue at the first site
+    # (0 disables: no queue is built, no extra users are created)
+    storm_apps: int = 0
+    storm_start_s: float = 10.0
+    #: submissions per burst (a burst lands at one instant)
+    storm_burst: int = 6
+    storm_spacing_s: float = 4.0
+    #: distinct storm users, cycled over submissions; user ``stormJ``
+    #: has priority ``1 + J % 3``
+    storm_users: int = 3
+    storm_max_queued: int = 8
+    storm_max_concurrent: int = 2
+    #: in-queue TTL every storm submission carries (None = no TTL)
+    storm_ttl_s: Optional[float] = 45.0
+    #: deadline carried by every third storm submission (None disables)
+    storm_deadline_s: Optional[float] = None
+    #: per-user token-bucket rate limit (None = no rate limiting)
+    storm_user_rate_per_s: Optional[float] = None
+    storm_user_burst: int = 2
+    # overload-protection features under test (defaults mirror
+    # RuntimeConfig: off, so existing configs hash identically)
+    overload: bool = False
+    breakers: bool = False
 
     def __post_init__(self) -> None:
         if self.n_sites < 1 or self.hosts_per_site < 1:
@@ -167,6 +198,17 @@ class ChaosConfig:
             raise ValueError("flapping needs factor > 1 and positive means")
         if self.detector not in ("count", "phi"):
             raise ValueError(f"unknown detector {self.detector!r}")
+        if self.storm_apps < 0:
+            raise ValueError("storm_apps must be non-negative")
+        if self.storm_apps:
+            if self.storm_burst < 1 or self.storm_users < 1:
+                raise ValueError("storm_burst/storm_users must be >= 1")
+            if self.storm_spacing_s < 0:
+                raise ValueError("storm_spacing_s must be non-negative")
+            if self.storm_max_queued < 1 or self.storm_max_concurrent < 1:
+                raise ValueError(
+                    "storm_max_queued/storm_max_concurrent must be >= 1"
+                )
 
 
 def smoke_config(seed: int = 0) -> ChaosConfig:
@@ -225,6 +267,42 @@ def slowdown_smoke_config(seed: int = 0) -> ChaosConfig:
     )
 
 
+def storm_config(seed: int = 0) -> ChaosConfig:
+    """The overload campaign: an arrival storm against a bounded
+    admission queue, with backpressure/brownout and circuit breakers
+    armed, plus a WAN partition so the breakers actually trip."""
+    return ChaosConfig(
+        seed=seed,
+        n_sites=2,
+        hosts_per_site=2,
+        n_apps=2,
+        duration_s=180.0,
+        first_submit_s=5.0,
+        app_spacing_s=30.0,
+        n_flaky_hosts=1,
+        host_mtbf_s=90.0,
+        host_mttr_s=20.0,
+        n_flaky_links=0,
+        partition_at_s=30.0,
+        partition_duration_s=25.0,
+        message_loss_prob=0.02,
+        echo_loss_prob=0.02,
+        storm_apps=18,
+        storm_start_s=10.0,
+        storm_burst=6,
+        storm_spacing_s=4.0,
+        storm_users=3,
+        storm_max_queued=8,
+        storm_max_concurrent=2,
+        storm_ttl_s=45.0,
+        storm_deadline_s=60.0,
+        storm_user_rate_per_s=0.25,
+        storm_user_burst=2,
+        overload=True,
+        breakers=True,
+    )
+
+
 @dataclass
 class ChaosReport:
     """What one campaign did, found, and hashed to."""
@@ -245,6 +323,13 @@ class ChaosReport:
     speculative_wins: int = 0
     speculative_wasted_s: float = 0.0
     quarantined_hosts: List[str] = field(default_factory=list)
+    # overload-protection outcome (zero/empty unless a storm ran)
+    sheds: int = 0
+    shed_log: List[Dict[str, Any]] = field(default_factory=list)
+    peak_queued: int = 0
+    brownout_shifts: int = 0
+    breaker_transitions: int = 0
+    breaker_fast_fails: int = 0
 
     @property
     def ok(self) -> bool:
@@ -266,6 +351,12 @@ class ChaosReport:
             "speculative_wins": self.speculative_wins,
             "speculative_wasted_s": round(self.speculative_wasted_s, 9),
             "quarantined_hosts": list(self.quarantined_hosts),
+            "sheds": self.sheds,
+            "shed_log": list(self.shed_log),
+            "peak_queued": self.peak_queued,
+            "brownout_shifts": self.brownout_shifts,
+            "breaker_transitions": self.breaker_transitions,
+            "breaker_fast_fails": self.breaker_fast_fails,
             "ok": self.ok,
         }
 
@@ -313,10 +404,18 @@ def run_campaign(
         expected_output_hashes,
         final_output_hashes,
     )
+    from repro.runtime.admission import (
+        AdmissionExpired,
+        AdmissionPolicy,
+        AdmissionQueue,
+        AdmissionRejected,
+    )
     from repro.runtime.execution import ExecutionCoordinator, ExecutionError
+    from repro.runtime.overload import OverloadPolicy
     from repro.runtime.straggler import HealthPolicy, SpeculationPolicy
     from repro.runtime.vdce_runtime import RuntimeConfig
-    from repro.net.rpc import ManagerUnavailable, RpcTimeout
+    from repro.net.rpc import BreakerPolicy, ManagerUnavailable, RpcTimeout
+    from repro.repository.users import AccessDomain
     from repro.scheduler.site_scheduler import SchedulingError, SiteScheduler
     from repro.trace.tracer import Tracer
 
@@ -338,6 +437,8 @@ def run_campaign(
             speculation=SpeculationPolicy() if config.speculation else None,
             health=HealthPolicy() if config.health else None,
             causal_spans=config.causal_spans,
+            overload=OverloadPolicy() if config.overload else None,
+            breaker=BreakerPolicy() if config.breakers else None,
         ),
         tracer=tracer,
         metrics=MetricsRegistry(),
@@ -510,6 +611,102 @@ def run_campaign(
         submit_site = sites[i % len(sites)]
         delay = config.first_submit_s + i * config.app_spacing_s
         procs.append(sim.process(run_app(afg, submit_site, delay), name=f"chaos:{afg.name}"))
+
+    # -- the arrival storm (bounded admission under overload) ---------------
+    storm_queue = None
+    storm_names: List[str] = []
+    if config.storm_apps:
+        from repro.workloads.pipelines import linear_pipeline
+
+        storm_site = sites[0]
+        users_db = runtime.repositories[storm_site].users
+        for j in range(config.storm_users):
+            users_db.add_user(
+                f"storm{j}", "storm-pass", priority=1 + j % 3,
+                access_domain=AccessDomain.GLOBAL,
+            )
+        storm_queue = AdmissionQueue(
+            runtime,
+            max_concurrent=config.storm_max_concurrent,
+            site=storm_site,
+            policy=AdmissionPolicy(
+                max_queued=config.storm_max_queued,
+                user_rate_per_s=config.storm_user_rate_per_s,
+                user_burst=config.storm_user_burst,
+                default_ttl_s=config.storm_ttl_s,
+            ),
+        )
+
+        def run_storm_app(afg, user: str, delay: float,
+                          deadline: Optional[float]):
+            yield Timeout(delay)
+            submitted = sim.now
+            try:
+                result = yield storm_queue.submit(
+                    afg, user,
+                    scheduler=SiteScheduler(k=config.k, model=runtime.model),
+                    deadline_s=deadline,
+                )
+                outcomes[afg.name] = {
+                    "status": "completed",
+                    "site": storm_site,
+                    "user": user,
+                    "submitted_at": round(submitted, 9),
+                    "makespan_s": round(result.makespan, 9),
+                }
+            except AdmissionRejected as exc:
+                outcomes[afg.name] = {
+                    "status": "rejected",
+                    "site": storm_site,
+                    "user": user,
+                    "submitted_at": round(submitted, 9),
+                    "error": exc.reason,
+                }
+            except AdmissionExpired as exc:
+                outcomes[afg.name] = {
+                    "status": "expired",
+                    "site": storm_site,
+                    "user": user,
+                    "submitted_at": round(submitted, 9),
+                    "error": f"waited {exc.waited_s:.3f}s",
+                }
+            except typed_errors as exc:
+                outcomes[afg.name] = {
+                    "status": "failed",
+                    "site": storm_site,
+                    "user": user,
+                    "submitted_at": round(submitted, 9),
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                }
+            except Exception as exc:  # noqa: BLE001 — untyped = I1 violation
+                outcomes[afg.name] = {
+                    "status": "crashed",
+                    "site": storm_site,
+                    "user": user,
+                    "submitted_at": round(submitted, 9),
+                    "error": type(exc).__name__,
+                    "detail": str(exc),
+                }
+
+        for i in range(config.storm_apps):
+            afg = linear_pipeline(n_stages=3, cost=4.0, edge_mb=1.0)
+            afg.name = f"storm{i:02d}-{afg.name}"
+            storm_names.append(afg.name)
+            delay = (
+                config.storm_start_s
+                + (i // config.storm_burst) * config.storm_spacing_s
+            )
+            deadline = (
+                config.storm_deadline_s
+                if config.storm_deadline_s is not None and i % 3 == 2
+                else None
+            )
+            procs.append(sim.process(
+                run_storm_app(afg, f"storm{i % config.storm_users}",
+                              delay, deadline),
+                name=f"chaos:{afg.name}",
+            ))
 
     # -- run ----------------------------------------------------------------
     sim.run(until=config.duration_s)
@@ -698,6 +895,29 @@ def run_campaign(
         for problem in span_integrity(tracer.events()):
             violations.append(f"I9: {problem}")
 
+    # I10: bounded admission — the queue never exceeded its bound and
+    # every storm submission reached a terminal outcome
+    if storm_queue is not None:
+        if storm_queue.peak_queued > config.storm_max_queued:
+            violations.append(
+                f"I10: admission queue depth peaked at "
+                f"{storm_queue.peak_queued}, exceeding the bound "
+                f"{config.storm_max_queued}"
+            )
+        terminal = ("completed", "failed", "rejected", "expired")
+        for name in storm_names:
+            status = outcomes.get(name, {}).get("status")
+            if status not in terminal:
+                violations.append(
+                    f"I10: storm application {name!r} ended in "
+                    f"{status!r}, not a terminal admission outcome"
+                )
+
+    # I11: breaker silence — no message ever rides an open circuit
+    if runtime.breakers is not None:
+        for problem in runtime.breakers.open_violations(sim.now):
+            violations.append(f"I11: {problem}")
+
     if trace_path is not None:
         from repro.trace.serialize import write_jsonl
 
@@ -728,6 +948,25 @@ def run_campaign(
         quarantined_hosts=(
             sorted(runtime.health.quarantined_hosts())
             if runtime.health is not None else []
+        ),
+        sheds=(len(storm_queue.shed_log) if storm_queue is not None else 0),
+        shed_log=(
+            list(storm_queue.shed_log) if storm_queue is not None else []
+        ),
+        peak_queued=(
+            storm_queue.peak_queued if storm_queue is not None else 0
+        ),
+        brownout_shifts=(
+            len(runtime.brownout.shifts)
+            if runtime.brownout is not None else 0
+        ),
+        breaker_transitions=(
+            len(runtime.breakers.transitions)
+            if runtime.breakers is not None else 0
+        ),
+        breaker_fast_fails=(
+            runtime.breakers.fast_fails
+            if runtime.breakers is not None else 0
         ),
     )
 

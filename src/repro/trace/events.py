@@ -85,6 +85,14 @@ class EventKind:
     QUARANTINE = "quarantine"
     PROBATION = "probation"
 
+    # -- overload protection (admission, brownout, circuit breakers) -------
+    SHED = "shed"
+    BROWNOUT = "brownout"
+    SITE_OVERLOADED = "site_overloaded"
+    BREAKER_OPEN = "breaker_open"
+    BREAKER_HALF_OPEN = "breaker_half_open"
+    BREAKER_CLOSE = "breaker_close"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

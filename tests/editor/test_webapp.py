@@ -191,3 +191,67 @@ class TestMetricsRoute:
         response = client.get("/metrics")
         assert response.status_code == 200
         assert response.get_data(as_text=True) == ""
+
+
+class TestAdmissionIntegration:
+    def make_client(self, rt=None, **policy_kwargs):
+        from repro.runtime.admission import AdmissionPolicy, AdmissionQueue
+
+        rt = rt or build_runtime()
+        queue = AdmissionQueue(
+            rt, max_concurrent=2, site="alpha",
+            policy=AdmissionPolicy(**policy_kwargs),
+        )
+        app = create_webapp(rt, site="alpha", admission=queue)
+        app.config["TESTING"] = True
+        return app.test_client(), rt, queue
+
+    def import_chain(self, client, headers, name="hose"):
+        from repro.afg.serialize import afg_to_dict
+
+        from tests.runtime.conftest import chain_afg
+
+        response = client.post(
+            "/applications/import",
+            json=afg_to_dict(chain_afg(n=2, name=name)),
+            headers=headers,
+        )
+        assert response.status_code == 201
+
+    def test_submit_reports_queue_occupancy(self):
+        client, rt, queue = self.make_client(max_queued=4)
+        headers = login(client)
+        self.import_chain(client, headers)
+        response = client.post("/applications/hose/submit", json={"k": 1},
+                               headers=headers)
+        assert response.status_code == 200
+        body = response.get_json()
+        assert body["makespan_s"] > 0
+        assert body["admission"] == {"queued": 0, "running": 0}
+        assert queue.admitted_order == ["hose"]
+
+    def test_brownout_rejection_is_429(self):
+        from repro.runtime.overload import OverloadPolicy
+
+        client, rt, queue = self.make_client(
+            rt=build_runtime(overload=OverloadPolicy())
+        )
+        rt.brownout.update("alpha", "g0", 1.0)  # critical: refuse work
+        headers = login(client)
+        self.import_chain(client, headers)
+        response = client.post("/applications/hose/submit", json={"k": 1},
+                               headers=headers)
+        assert response.status_code == 429
+        assert "brownout" in response.get_json()["error"]
+
+    def test_submission_under_deleted_account_is_403(self):
+        # the account disappears between login and submit: admission
+        # looks the user up again and refuses with the typed error
+        client, rt, queue = self.make_client(max_queued=4)
+        headers = login(client)
+        self.import_chain(client, headers)
+        rt.repositories["alpha"].users.remove("admin")
+        response = client.post("/applications/hose/submit", json={"k": 1},
+                               headers=headers)
+        assert response.status_code == 403
+        assert "admin" in response.get_json()["error"]

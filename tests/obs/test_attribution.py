@@ -160,10 +160,34 @@ class TestBreakdown:
         assert info["breakdown"] == {
             "queue": 2.0, "scheduling": 1.0, "staging": 2.0,
             "execution": 5.0, "retry": 0.0, "speculation": 0.0,
-            "other": 0.0,
+            "shed": 0.0, "other": 0.0,
         }
         assert info["breakdown_residual_s"] == 0.0
         assert set(info["breakdown"]) == set(CATEGORIES)
+
+    def test_shed_wait_is_its_own_category(self):
+        # an admission wait that ends in load shedding is not "queue"
+        # time (the app never ran) — it gets the "shed" category
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        wait = spans.open(SpanKind.ADMISSION_WAIT, "a", parent=root)
+        clock[0] = 3.0
+        spans.close(wait, status="shed")
+        spans.close_root("a", status="shed")
+        breakdown = explain(tracer.events())["apps"]["a"]["breakdown"]
+        assert breakdown["shed"] == 3.0
+        assert breakdown["queue"] == 0.0
+
+    def test_expired_wait_counts_as_shed(self):
+        clock, tracer, spans = make_recorder()
+        root = spans.root_of("a")
+        wait = spans.open(SpanKind.ADMISSION_WAIT, "a", parent=root)
+        clock[0] = 2.0
+        spans.close(wait, status="expired")
+        spans.close_root("a", status="expired")
+        breakdown = explain(tracer.events())["apps"]["a"]["breakdown"]
+        assert breakdown["shed"] == 2.0
+        assert breakdown["queue"] == 0.0
 
     def test_gaps_fall_into_other(self):
         clock, tracer, spans = make_recorder()

@@ -1,0 +1,77 @@
+"""Property test: admission order is priority-sorted, FIFO within ties.
+
+Randomized submit sequences (several seeds, no framework — plain
+``random.Random``) against the invariant the dispatcher must keep:
+when every application is enqueued before the dispatcher first runs,
+the admitted order equals the submissions sorted by (priority
+descending, arrival index ascending).
+"""
+
+import random
+
+from repro.runtime.admission import AdmissionQueue
+
+from tests.runtime.conftest import build_runtime, chain_afg
+
+SEEDS = (0, 1, 2)
+
+
+def submit_randomized(seed: int, n_apps: int = 8):
+    rng = random.Random(seed)
+    rt = build_runtime()
+    repo = rt.repositories["alpha"]
+    priorities = {}
+    for level in range(1, 6):
+        repo.users.add_user(f"u{level}", "x", priority=level)
+    queue = AdmissionQueue(rt, max_concurrent=1)
+    signals = []
+    for i in range(n_apps):
+        level = rng.randint(1, 5)
+        name = f"app{i:02d}"
+        priorities[name] = level
+        signals.append(
+            queue.submit(chain_afg(n=1, name=name), f"u{level}")
+        )
+    return rt, queue, signals, priorities
+
+
+def drain(rt, signals):
+    def waiter():
+        for signal in signals:
+            yield signal
+
+    rt.sim.run_until_complete(rt.sim.process(waiter()))
+
+
+class TestAdmissionOrderProperty:
+    def test_priority_then_fifo(self):
+        for seed in SEEDS:
+            rt, queue, signals, priorities = submit_randomized(seed)
+            drain(rt, signals)
+            names = [f"app{i:02d}" for i in range(len(signals))]
+            expected = sorted(
+                names, key=lambda n: (-priorities[n], names.index(n))
+            )
+            assert queue.admitted_order == expected, f"seed {seed}"
+
+    def test_every_submission_admitted_exactly_once(self):
+        for seed in SEEDS:
+            rt, queue, signals, priorities = submit_randomized(seed)
+            drain(rt, signals)
+            assert sorted(queue.admitted_order) == sorted(priorities)
+
+    def test_higher_priority_never_waits_behind_lower(self):
+        # pairwise: if a higher-priority app was submitted no later, it
+        # must be admitted no later either
+        for seed in SEEDS:
+            rt, queue, signals, priorities = submit_randomized(seed)
+            drain(rt, signals)
+            position = {n: i for i, n in enumerate(queue.admitted_order)}
+            names = sorted(priorities)
+            for a in names:
+                for b in names:
+                    if a < b and priorities[a] > priorities[b]:
+                        assert position[a] < position[b], (
+                            f"seed {seed}: {a} (prio {priorities[a]}) "
+                            f"admitted after {b} (prio {priorities[b]})"
+                        )
