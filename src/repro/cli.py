@@ -729,14 +729,14 @@ def cmd_chaos(args) -> int:
     import json as _json
 
     from repro.sim.chaos import (
-        ChaosConfig, run_campaign, slowdown_smoke_config, smoke_config,
-        storm_config,
+        ChaosConfig, corruption_smoke_config, run_campaign,
+        slowdown_smoke_config, smoke_config, storm_config,
     )
 
-    presets = [args.smoke, args.slowdown_smoke, args.storm]
+    presets = [args.smoke, args.slowdown_smoke, args.storm, args.corruption]
     if sum(bool(p) for p in presets) > 1:
-        print("error: --smoke, --slowdown-smoke and --storm are "
-              "mutually exclusive")
+        print("error: --smoke, --slowdown-smoke, --storm and --corruption "
+              "are mutually exclusive")
         return 1
     if args.smoke:
         config = smoke_config(seed=args.seed)
@@ -744,6 +744,8 @@ def cmd_chaos(args) -> int:
         config = slowdown_smoke_config(seed=args.seed)
     elif args.storm:
         config = storm_config(seed=args.seed)
+    elif args.corruption:
+        config = corruption_smoke_config(seed=args.seed)
     else:
         config = ChaosConfig(
             seed=args.seed,
@@ -783,6 +785,14 @@ def cmd_chaos(args) -> int:
               f"{report.brownout_shifts} brownout shifts, "
               f"{report.breaker_transitions} breaker transitions "
               f"({report.breaker_fast_fails} fast-fails)")
+    if config.data_integrity and report.integrity is not None:
+        integ = report.integrity
+        print(f"  integrity: {integ['corruptions_detected']} corruptions "
+              f"detected, {integ['refetches']} refetches, "
+              f"{integ['regenerations']} regenerations, "
+              f"{integ['poisoned']} poisoned, "
+              f"{integ['artifacts_lost']} artifacts lost "
+              f"({integ['dirty_consumptions']} dirty consumptions)")
     for name in sorted(report.outcomes):
         outcome = report.outcomes[name]
         line = f"  {name}: {outcome['status']}"
@@ -1026,6 +1036,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the overload campaign: an arrival storm "
                             "against a bounded admission queue, with "
                             "brownout and circuit breakers armed")
+    chaos.add_argument("--corruption", action="store_true",
+                       help="the data-integrity campaign: payload "
+                            "corruption, artifact loss and journal rot "
+                            "against end-to-end checksums and the "
+                            "repair ladder (invariants I12/I13)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument("--hosts", type=int, default=4)

@@ -19,7 +19,7 @@ import pickle
 import socket
 import struct
 from dataclasses import dataclass
-from typing import Any, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 __all__ = [
     "Ack",
@@ -57,6 +57,9 @@ class Data:
     application: str
     edge: EdgeKey
     payload: Any
+    #: canonical content hash of ``payload`` (repro.hashing.value_hash),
+    #: stamped by integrity-enabled senders; None = unverified channel
+    content_hash: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,16 @@ the setup/ack handshake, and streams data.
 Threading model: one accept thread per proxy, one handler thread per
 inbound connection.  All blocking operations take timeouts so protocol
 bugs surface as errors, never hangs.
+
+Integrity (DESIGN §16): a channel opened with ``verify_hashes=True``
+stamps every :class:`Data` frame with the payload's canonical content
+hash (:func:`repro.hashing.value_hash` — the *same* function the
+simulated Data Manager path records), and the receiving side recomputes
+and compares before the payload ever reaches a task; a mismatch raises
+the typed :class:`~repro.errors.CorruptPayloadError` in the consumer.
+There is no repair ladder on this one-directional socket path — repair
+needs the coordinator's lineage, which lives above the proxies — so
+detection surfaces as a typed failure (invariant I13's second arm).
 """
 
 from __future__ import annotations
@@ -17,8 +27,10 @@ from __future__ import annotations
 import queue
 import socket
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.errors import CorruptPayloadError
+from repro.hashing import value_hash
 from repro.net.messages import (
     Ack,
     ChannelSetup,
@@ -29,30 +41,50 @@ from repro.net.messages import (
     write_message,
 )
 
-__all__ = ["CommunicationProxy", "OutChannel", "ProxyError"]
+__all__ = ["CommunicationProxy", "OutChannel", "ProxyAborted", "ProxyError"]
 
 _DEFAULT_TIMEOUT = 10.0
+#: poll slice while a receive also watches an abort event
+_ABORT_POLL_S = 0.05
 
 
 class ProxyError(RuntimeError):
     """Channel setup/delivery failure."""
 
 
+class ProxyAborted(ProxyError):
+    """A receive was interrupted by the caller's abort event.
+
+    Raised instead of waiting out the full timeout when a sibling task
+    fails: the data this receive was blocked on is never coming.
+    """
+
+
 class OutChannel:
     """Sender end of one edge channel (created by :meth:`open_channel`)."""
 
-    def __init__(self, sock: socket.socket, application: str, edge: EdgeKey):
+    def __init__(self, sock: socket.socket, application: str, edge: EdgeKey,
+                 verify_hashes: bool = False):
         self._sock = sock
         self.application = application
         self.edge = edge
         self.bytes_sent = 0
         self._closed = False
+        #: stamp Data frames with the payload's content hash
+        self.verify_hashes = verify_hashes
+        #: test hook: corrupt the payload *after* hashing, simulating
+        #: wire damage (the stamped hash stays honest)
+        self.tamper: Optional[Callable[[Any], Any]] = None
 
     def send(self, payload: Any) -> None:
         if self._closed:
             raise ProxyError(f"channel {self.edge} already closed")
+        content_hash = value_hash(payload) if self.verify_hashes else None
+        if self.tamper is not None:
+            payload = self.tamper(payload)
         self.bytes_sent += write_message(
-            self._sock, Data(self.application, self.edge, payload)
+            self._sock,
+            Data(self.application, self.edge, payload, content_hash),
         )
 
     def close(self) -> None:
@@ -84,6 +116,10 @@ class CommunicationProxy:
         self.setups_accepted = 0
         self.acks_sent = 0
         self.payloads_received = 0
+        self.payloads_verified = 0
+        self.hash_mismatches = 0
+        #: last verified content hash per edge (real-vs-sim parity checks)
+        self.edge_hashes: Dict[EdgeKey, str] = {}
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"proxy-accept:{host_name}", daemon=True
         )
@@ -131,7 +167,7 @@ class CommunicationProxy:
                     return
                 if isinstance(message, Data):
                     self.payloads_received += 1
-                    inbox.put(message.payload)
+                    inbox.put((message.payload, message.content_hash))
                 else:
                     raise ProxyError(
                         f"unexpected {type(message).__name__} on data channel"
@@ -141,15 +177,60 @@ class CommunicationProxy:
         finally:
             conn.close()
 
-    def receive(self, edge: EdgeKey, timeout_s: Optional[float] = None) -> Any:
-        """Block until a payload for ``edge`` arrives."""
-        try:
-            return self._inbox(edge).get(timeout=timeout_s or self.timeout_s)
-        except queue.Empty:
-            raise ProxyError(
-                f"timed out waiting for data on edge {edge} at "
-                f"{self.host_name}"
-            ) from None
+    def receive(self, edge: EdgeKey, timeout_s: Optional[float] = None,
+                abort: Optional[threading.Event] = None) -> Any:
+        """Block until a payload for ``edge`` arrives.
+
+        With ``abort`` given, the wait is interrupted as soon as the
+        event is set (:class:`ProxyAborted`) — a dependent of a failed
+        task unblocks in one poll slice instead of the full timeout.
+        Verification happens here, in the consumer's thread: a stamped
+        content hash that does not match the received payload raises
+        the typed :class:`CorruptPayloadError` and the bytes never
+        reach the task.
+        """
+        deadline = timeout_s if timeout_s is not None else self.timeout_s
+        inbox = self._inbox(edge)
+        if abort is None:
+            try:
+                payload, content_hash = inbox.get(timeout=deadline)
+            except queue.Empty:
+                raise ProxyError(
+                    f"timed out waiting for data on edge {edge} at "
+                    f"{self.host_name}"
+                ) from None
+        else:
+            waited = 0.0
+            while True:
+                if abort.is_set():
+                    raise ProxyAborted(
+                        f"receive on edge {edge} at {self.host_name} "
+                        "aborted: a sibling task failed"
+                    )
+                try:
+                    payload, content_hash = inbox.get(timeout=_ABORT_POLL_S)
+                    break
+                except queue.Empty:
+                    waited += _ABORT_POLL_S
+                    if waited >= deadline:
+                        raise ProxyError(
+                            f"timed out waiting for data on edge {edge} at "
+                            f"{self.host_name}"
+                        ) from None
+        if content_hash is not None:
+            actual = value_hash(payload)
+            if actual != content_hash:
+                self.hash_mismatches += 1
+                raise CorruptPayloadError(
+                    f"payload for edge {edge} at {self.host_name} fails "
+                    "verification: received bytes do not match the "
+                    "producer's content hash",
+                    expected_hash=content_hash,
+                    actual_hash=actual,
+                )
+            self.payloads_verified += 1
+            self.edge_hashes[edge] = content_hash
+        return payload
 
     # -- sending side --------------------------------------------------------------
 
@@ -159,6 +240,7 @@ class CommunicationProxy:
         edge: EdgeKey,
         target: Tuple[str, int],
         dst_host: str,
+        verify_hashes: bool = False,
     ) -> OutChannel:
         """Connect to the destination proxy and complete setup + ack."""
         sock = socket.create_connection(target, timeout=self.timeout_s)
@@ -173,7 +255,7 @@ class CommunicationProxy:
         except Exception:
             sock.close()
             raise
-        return OutChannel(sock, application, edge)
+        return OutChannel(sock, application, edge, verify_hashes=verify_hashes)
 
     # -- lifecycle -------------------------------------------------------------------
 

@@ -46,7 +46,9 @@ __all__ = [
 ]
 
 #: version stamp of the explain report layout
-ATTRIBUTION_SCHEMA_VERSION = 2
+#: (v3 adds the "repair" wait-state: data-integrity refetch + lineage
+#: regeneration episodes, DESIGN §16)
+ATTRIBUTION_SCHEMA_VERSION = 3
 
 #: span kind -> wait-state category; None marks container spans whose
 #: time is attributed through their children
@@ -71,13 +73,17 @@ CATEGORY: Dict[str, Optional[str]] = {
     SpanKind.STAGE_OUT: "staging",
     SpanKind.EXECUTE: "execution",
     SpanKind.SPECULATE_BACKUP: "speculation",
+    SpanKind.REPAIR: "repair",
 }
 
 #: when several categories are active on one elementary segment, the
-#: highest-priority one owns it (earlier = higher)
+#: highest-priority one owns it (earlier = higher).  Repair outranks
+#: staging: while a corrupted delivery is being refetched/regenerated
+#: the consumer's input wait is *caused* by the repair, and E-series
+#: repair-overhead numbers read straight off this category.
 PRIORITY: Tuple[str, ...] = (
-    "execution", "staging", "retry", "speculation", "scheduling", "shed",
-    "queue",
+    "execution", "repair", "staging", "retry", "speculation", "scheduling",
+    "shed", "queue",
 )
 
 #: every category a breakdown reports, in canonical order

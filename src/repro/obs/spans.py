@@ -100,6 +100,9 @@ class SpanKind:
     RESUME = "resume"
     #: Group Manager deputy election window (crash → restart)
     FAILOVER = "failover"
+    #: data-integrity repair episode: refetches + lineage regeneration
+    #: from corruption/loss detection until resolution (DESIGN §16)
+    REPAIR = "repair"
 
 
 class SpanContext(NamedTuple):

@@ -13,10 +13,16 @@ append-only, crash-consistent journal recording
 * every resume.
 
 Crash consistency is per-record: each JSONL line carries a checksum of
-its own body, and the reader stops at the first corrupt or truncated
-line — a crash mid-append loses at most the record being written,
-never an earlier one.  Opening an existing journal for append truncates
-any torn tail first, so post-crash appends are always readable.
+its own body.  A *torn tail* — a truncated or corrupt line with no
+valid records after it — is the signature of a crash mid-append and is
+safely discarded (a crash loses at most the record being written,
+never an earlier one); opening an existing journal for append
+truncates such a tail first, so post-crash appends are always
+readable.  A corrupt *interior* record — one followed by valid
+records — cannot come from a torn append: the file was damaged in
+place, and resuming from the surviving prefix would silently forget
+completed work, so the reader raises a typed
+:class:`~repro.errors.JournalCorruptError` instead.
 
 :func:`resume_run` rebuilds a fresh deployment from the journal plus
 the ``save_repositories()`` snapshots next to it and re-executes only
@@ -35,14 +41,13 @@ import hashlib
 import json
 import os
 import pickle
-import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.afg.graph import ApplicationFlowGraph
 from repro.afg.serialize import afg_from_dict, afg_to_dict
+from repro.errors import JournalCorruptError
+from repro.hashing import value_hash
 from repro.scheduler.allocation import AllocationTable
 
 __all__ = [
@@ -64,51 +69,9 @@ _REPOS_DIRNAME = "repos"
 
 
 # -- canonical value hashing -------------------------------------------------
-
-
-def _feed(h, value: Any) -> None:
-    """Feed one value into a hash, type-tagged and representation-stable.
-
-    Canonical across runs and processes: numpy arrays hash their dtype,
-    shape and raw bytes; floats their IEEE-754 encoding; dicts their
-    sorted items — never ``repr`` or pickle, whose output can vary.
-    """
-    if value is None:
-        h.update(b"N")
-    elif isinstance(value, bool):
-        h.update(b"B1" if value else b"B0")
-    elif isinstance(value, (int, np.integer)):
-        h.update(b"I" + str(int(value)).encode("ascii"))
-    elif isinstance(value, (float, np.floating)):
-        h.update(b"F" + struct.pack(">d", float(value)))
-    elif isinstance(value, str):
-        raw = value.encode("utf-8")
-        h.update(b"S" + str(len(raw)).encode("ascii") + b":" + raw)
-    elif isinstance(value, bytes):
-        h.update(b"Y" + str(len(value)).encode("ascii") + b":" + value)
-    elif isinstance(value, np.ndarray):
-        h.update(b"A" + value.dtype.str.encode("ascii"))
-        h.update(str(value.shape).encode("ascii"))
-        h.update(np.ascontiguousarray(value).tobytes())
-    elif isinstance(value, (list, tuple)):
-        h.update(b"L" + str(len(value)).encode("ascii"))
-        for item in value:
-            _feed(h, item)
-    elif isinstance(value, dict):
-        h.update(b"D" + str(len(value)).encode("ascii"))
-        for key in sorted(value, key=str):
-            _feed(h, str(key))
-            _feed(h, value[key])
-    else:
-        # last resort for exotic payloads: a stable repr round
-        h.update(b"R" + repr(value).encode("utf-8"))
-
-
-def value_hash(value: Any) -> str:
-    """Canonical sha256 content hash of one task output value."""
-    h = hashlib.sha256()
-    _feed(h, value)
-    return h.hexdigest()
+#
+# value_hash moved to repro.hashing so the net layer can share it
+# without importing runtime; re-exported here for back-compat.
 
 
 def encode_value(value: Any) -> str:
@@ -146,6 +109,8 @@ class CheckpointJournal:
         self.enabled = enabled
         self.bytes_written = 0
         self._records: List[Dict[str, Any]] = []
+        #: indices of in-memory records marked corrupt by fault injection
+        self._corrupt_indices: set = set()
         if path is not None and os.path.exists(path):
             self._records, valid_bytes = self._scan(path)
             size = os.path.getsize(path)
@@ -178,27 +143,77 @@ class CheckpointJournal:
     # -- read side --------------------------------------------------------
 
     def records(self) -> List[Dict[str, Any]]:
-        """Every record appended (or recovered from disk), in order."""
+        """Every record appended (or recovered from disk), in order.
+
+        Records marked corrupt by fault injection follow the same
+        contract as the on-disk reader: a corrupt *tail* record is
+        dropped (torn-append semantics), a corrupt *interior* record
+        aborts with :class:`JournalCorruptError`.
+        """
+        if self._corrupt_indices:
+            interior = [
+                i for i in self._corrupt_indices if i < len(self._records) - 1
+            ]
+            if interior:
+                raise JournalCorruptError(
+                    f"journal record {min(interior)} is corrupt with "
+                    f"{len(self._records) - 1 - min(interior)} valid "
+                    "record(s) after it — in-place damage, refusing to "
+                    "resume from a silently shortened history",
+                    record_index=min(interior),
+                )
+            return [
+                r
+                for i, r in enumerate(self._records)
+                if i not in self._corrupt_indices
+            ]
         return list(self._records)
 
     @staticmethod
     def _scan(path: str) -> Tuple[List[Dict[str, Any]], int]:
-        """Parse the valid prefix; returns (records, valid byte length)."""
+        """Parse the valid prefix; returns (records, valid byte length).
+
+        A bad line (truncated, unparseable, or CRC-failing) followed
+        only by further bad lines is a torn tail and marks the end of
+        the valid prefix.  A bad line *followed by a valid record* is
+        interior corruption — the file was damaged in place, not torn
+        by a crashed append — and raises :class:`JournalCorruptError`
+        rather than silently forgetting the later records.
+        """
+
+        def parse(raw: bytes) -> Optional[Dict[str, Any]]:
+            if not raw.endswith(b"\n"):
+                return None  # truncated final line
+            try:
+                line_obj = json.loads(raw.decode("utf-8"))
+                crc = line_obj.pop("crc")
+            except (ValueError, KeyError, AttributeError):
+                return None
+            if not isinstance(line_obj, dict) or _record_crc(line_obj) != crc:
+                return None
+            return line_obj
+
         records: List[Dict[str, Any]] = []
         valid_bytes = 0
         with open(path, "rb") as fh:
-            for raw in fh:
-                if not raw.endswith(b"\n"):
-                    break  # truncated final line
-                try:
-                    line_obj = json.loads(raw.decode("utf-8"))
-                    crc = line_obj.pop("crc")
-                except (ValueError, KeyError):
-                    break
-                if _record_crc(line_obj) != crc:
-                    break  # corrupt line: stop, do not trust anything after
-                records.append(line_obj)
-                valid_bytes += len(raw)
+            lines = fh.readlines()
+        for index, raw in enumerate(lines):
+            parsed = parse(raw)
+            if parsed is None:
+                survivors = sum(
+                    1 for later in lines[index + 1 :] if parse(later) is not None
+                )
+                if survivors:
+                    raise JournalCorruptError(
+                        f"journal record {index} is corrupt with {survivors} "
+                        "valid record(s) after it — in-place damage, not a "
+                        "torn append; refusing to resume from a silently "
+                        "shortened history",
+                        record_index=index,
+                    )
+                break  # torn tail: everything after is garbage too
+            records.append(parsed)
+            valid_bytes += len(raw)
         return records, valid_bytes
 
     @staticmethod
@@ -206,6 +221,37 @@ class CheckpointJournal:
         """The valid record prefix of a journal file."""
         records, _valid = CheckpointJournal._scan(path)
         return records
+
+    # -- fault injection --------------------------------------------------
+
+    def inject_corruption(self, rng) -> Dict[str, Any]:
+        """Damage one journal record in place (chaos fault hook).
+
+        File-backed journals get a single bit flipped at an
+        ``rng``-chosen byte offset — exactly the disk-rot fault the
+        interior-corruption check exists for.  Memory-only journals
+        (the chaos harness) mark an ``rng``-chosen record corrupt so
+        :meth:`records` applies the same tail-vs-interior contract.
+        Returns a description of what was damaged, for ground-truth
+        logging.
+        """
+        if self.path is not None and os.path.exists(self.path):
+            size = os.path.getsize(self.path)
+            if size == 0:
+                return {"mode": "file", "offset": None}
+            offset = int(rng.integers(0, size))
+            bit = int(rng.integers(0, 8))
+            with open(self.path, "r+b") as fh:
+                fh.seek(offset)
+                byte = fh.read(1)
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ (1 << bit)]))
+            return {"mode": "file", "offset": offset, "bit": bit}
+        if not self._records:
+            return {"mode": "memory", "index": None}
+        index = int(rng.integers(0, len(self._records)))
+        self._corrupt_indices.add(index)
+        return {"mode": "memory", "index": index}
 
 
 # -- the parsed checkpoint ---------------------------------------------------

@@ -20,9 +20,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.afg.graph import ApplicationFlowGraph, Edge
+from repro.errors import AggregateExecutionError
 from repro.metrics.registry import MetricsRegistry, NULL_METRICS
 from repro.net.messages import EdgeKey
-from repro.net.proxy import CommunicationProxy, ProxyError
+from repro.net.proxy import CommunicationProxy, ProxyAborted, ProxyError
 from repro.scheduler.allocation import AllocationTable
 from repro.tasklib.registry import TaskRegistry, default_registry
 from repro.trace.events import EventKind
@@ -73,17 +74,22 @@ class LocalDataManager:
         timeout_s: float = 30.0,
         tracer: Tracer = NULL_TRACER,
         metrics: MetricsRegistry = NULL_METRICS,
+        verify_hashes: bool = False,
     ):
         """``tracer`` records the real run on the wall clock — construct
         it as ``Tracer(clock=time.monotonic)``.  Real-path traces are
         *not* deterministic (wall times vary); they exist for debugging
         and for comparing event **counts** against the simulated path.
         ``metrics`` likewise measures the real path on the wall clock;
-        real-path snapshots are comparison aids, not oracles."""
+        real-path snapshots are comparison aids, not oracles.
+        ``verify_hashes`` stamps every Data frame with the payload's
+        canonical content hash and verifies it on receive — the real
+        half of DESIGN §16's end-to-end integrity protocol."""
         self.registry = registry or default_registry()
         self.timeout_s = timeout_s
         self.tracer = tracer
         self.metrics = metrics
+        self.verify_hashes = verify_hashes
 
     def execute(
         self, afg: ApplicationFlowGraph, table: AllocationTable
@@ -116,7 +122,8 @@ class LocalDataManager:
             src_host = table.get(edge.src).primary_host
             dst_host = table.get(edge.dst).primary_host
             channels[key] = proxies[src_host].open_channel(
-                afg.name, key, proxies[dst_host].address, dst_host
+                afg.name, key, proxies[dst_host].address, dst_host,
+                verify_hashes=self.verify_hashes,
             )
             if self.tracer.enabled:
                 self.tracer.emit(
@@ -134,6 +141,9 @@ class LocalDataManager:
         outputs: Dict[str, List[Any]] = {}
         errors: List[BaseException] = []
         lock = threading.Lock()
+        #: raised when any task fails: dependents blocked in receive()
+        #: unblock within one poll slice instead of the full timeout
+        abort = threading.Event()
 
         def task_body(task_id: str) -> None:
             try:
@@ -149,7 +159,7 @@ class LocalDataManager:
 
                 port_values: Dict[int, Any] = {}
                 for edge in sorted(afg.in_edges(task_id), key=lambda e: e.dst_port):
-                    value = proxies[host].receive(_edge_key(edge))
+                    value = proxies[host].receive(_edge_key(edge), abort=abort)
                     port_values[edge.dst_port] = value
                 inputs = [port_values.get(p) for p in range(node.n_in_ports)]
 
@@ -173,9 +183,14 @@ class LocalDataManager:
                 if not afg.out_edges(task_id):
                     with lock:
                         outputs[task_id] = result
+            except ProxyAborted:
+                # secondary casualty of a sibling's failure: the root
+                # cause is already in ``errors``, don't bury it
+                return
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 with lock:
                     errors.append(exc)
+                abort.set()
 
         threads = [
             threading.Thread(target=task_body, args=(t,), name=f"task:{t}")
@@ -214,7 +229,7 @@ class LocalDataManager:
                     runtime_hist.observe(record.elapsed, host=record.host)
 
         if errors:
-            raise errors[0]
+            raise AggregateExecutionError(errors)
 
         return RealExecutionReport(
             application=afg.name,

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
+from repro.errors import CorruptPayloadError
 from repro.sim.kernel import AllOf, Simulator, Timeout
 from repro.sim.network import Network
 
@@ -46,6 +47,8 @@ class DSMStats:
     read_misses: int = 0
     writes: int = 0
     invalidations: int = 0
+    #: hash-mismatched fetches re-fetched from the home (integrity on)
+    refetches: int = 0
 
     def hit_rate(self) -> float:
         return self.read_hits / self.reads if self.reads else 0.0
@@ -64,13 +67,44 @@ class _Variable:
 class DSM:
     """One shared-memory space spanning a deployment's hosts."""
 
-    def __init__(self, sim: Simulator, network: Network):
+    def __init__(self, sim: Simulator, network: Network, integrity=None):
         self.sim = sim
         self.network = network
+        #: data-integrity manager (hash-checked remote fetches with a
+        #: bounded refetch budget); None = fetched bytes trusted as-is
+        self.integrity = integrity
         self._variables: Dict[str, _Variable] = {}
         #: per-host caches: host -> {var: (version, value)}
         self._cache: Dict[str, Dict[str, tuple]] = {}
         self.stats = DSMStats()
+
+    def _verified(self, transfer_factory, label: str):
+        """Generator: run a transfer, hash-checked with bounded refetch.
+
+        The home always holds the authoritative value, so DSM repair
+        never needs lineage: a damaged fetch is simply re-fetched.  An
+        exhausted budget raises the typed :class:`CorruptPayloadError`
+        (invariant I13's typed-termination arm).
+        """
+        integrity = self.integrity
+        budget = (
+            integrity.policy.max_refetches
+            if integrity is not None and integrity.policy.verify_dsm
+            else 0
+        )
+        for attempt in range(1 + budget):
+            transfer = transfer_factory()
+            yield transfer.done
+            if (integrity is None or not integrity.policy.verify_dsm
+                    or transfer.corruption is None):
+                return
+            integrity.note_corruption("dsm", label, transfer.corruption, None)
+            if attempt < budget:
+                self.stats.refetches += 1
+                integrity.note_refetch("dsm", label, attempt + 1)
+        raise CorruptPayloadError(
+            f"DSM transfer {label!r} still corrupt after {budget} refetch(es)"
+        )
 
     # -- allocation ----------------------------------------------------------
 
@@ -106,10 +140,12 @@ class DSM:
             return cached[1]
         # miss: fetch from home
         self.stats.read_misses += 1
-        transfer = self.network.transfer(
-            variable.home_host, host, _VALUE_MB, label=f"dsm-read:{name}"
+        yield from self._verified(
+            lambda: self.network.transfer(
+                variable.home_host, host, _VALUE_MB, label=f"dsm-read:{name}"
+            ),
+            f"dsm-read:{name}",
         )
-        yield transfer.done
         value, version = variable.value, variable.version
         self._cache.setdefault(host, {})[name] = (version, value)
         variable.copies.add(host)
@@ -126,10 +162,13 @@ class DSM:
         variable = self._get(name)
         self.stats.writes += 1
         if host != variable.home_host:
-            transfer = self.network.transfer(
-                host, variable.home_host, _VALUE_MB, label=f"dsm-write:{name}"
+            yield from self._verified(
+                lambda: self.network.transfer(
+                    host, variable.home_host, _VALUE_MB,
+                    label=f"dsm-write:{name}",
+                ),
+                f"dsm-write:{name}",
             )
-            yield transfer.done
         # invalidate all copies except the writer's own (which we refresh)
         victims = sorted(variable.copies - {host})
         invalidations = []

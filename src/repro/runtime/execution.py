@@ -40,6 +40,11 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.afg.graph import ApplicationFlowGraph, Edge
 from repro.afg.serialize import afg_to_dict
 from repro.afg.task import TaskNode
+from repro.errors import (
+    CorruptPayloadError,
+    DataIntegrityError,
+    PoisonedArtifactError,
+)
 from repro.net.rpc import ManagerUnavailable, RpcTimeout
 from repro.obs.spans import SpanKind
 from repro.runtime.checkpoint import (
@@ -91,6 +96,10 @@ class TaskRecord:
     transfer_retries: int = 0
     #: inter-task channels re-established after dying mid-flight
     channel_reestablishes: int = 0
+    #: deliveries of this task's outputs re-sent after a hash mismatch
+    repair_refetches: int = 0
+    #: lineage re-executions of this task to restore a lost/corrupt output
+    repair_regenerations: int = 0
 
     @property
     def was_rescheduled(self) -> bool:
@@ -620,6 +629,7 @@ class ExecutionCoordinator:
             value = decode_value(
                 self._restored[edge.src]["outputs"][edge.src_port]["value"]
             )
+            integrity = self.runtime.integrity
             if edge.dst in self._restored:
                 # both endpoints already ran; satisfy the edge for free
                 signal.succeed(value)
@@ -628,11 +638,58 @@ class ExecutionCoordinator:
                 self.submit_site
             ).server_host.name
             dst_host = self.assignment[edge.dst].primary_host
-            yield from self._transfer_with_retry(
-                src_server, dst_host, edge.size_mb,
-                label=f"restage:{edge.src}->{edge.dst}",
-                record=self.records[edge.src], reason="restage",
-            )
+            label = f"restage:{edge.src}->{edge.dst}"
+            if integrity is not None:
+                # the journalled copy lives on the submitting server;
+                # verified re-stage with a bounded refetch budget (no
+                # lineage: the producer completed in a prior incarnation)
+                expected = integrity.record_artifact(
+                    self.afg.name, edge.src, edge.src_port, value, src_server
+                )
+                incident = None
+                for attempt in range(1 + integrity.policy.max_refetches):
+                    transfer = yield from self._transfer_with_retry(
+                        src_server, dst_host, edge.size_mb, label=label,
+                        record=self.records[edge.src], reason="restage",
+                    )
+                    if transfer is None or transfer.corruption is None:
+                        integrity.record_consumption(
+                            self.afg.name, label, clean=True,
+                            expected_hash=expected,
+                        )
+                        if incident is not None:
+                            integrity.resolve(incident, "refetched")
+                        break
+                    if incident is None:
+                        incident = integrity.open_incident(
+                            self.afg.name, label, "corrupt"
+                        )
+                    integrity.note_corruption(
+                        self.afg.name, label, transfer.corruption, expected
+                    )
+                    if attempt < integrity.policy.max_refetches:
+                        incident["refetches"] += 1
+                        integrity.note_refetch(
+                            self.afg.name, label, incident["refetches"]
+                        )
+                else:
+                    integrity.resolve(incident, "poisoned")
+                    integrity.note_poison(
+                        self.afg.name, edge.src,
+                        "restage refetch budget exhausted",
+                    )
+                    signal.fail(CorruptPayloadError(
+                        f"re-staged output {edge.src}[{edge.src_port}] "
+                        "still corrupt after "
+                        f"{integrity.policy.max_refetches} refetch(es)",
+                        expected_hash=expected,
+                    ))
+                    return
+            else:
+                yield from self._transfer_with_retry(
+                    src_server, dst_host, edge.size_mb, label=label,
+                    record=self.records[edge.src], reason="restage",
+                )
             self._edge_value[key] = value
             signal.succeed(value)
 
@@ -705,6 +762,8 @@ class ExecutionCoordinator:
         :class:`LinkDownError` is retried after an exponential backoff,
         re-establishing the edge's channel first when one exists.  An
         exhausted data policy raises a typed :class:`ExecutionError`.
+        Returns the completed :class:`~repro.sim.network.Transfer`, so
+        integrity-aware callers can inspect its ``corruption`` marker.
         """
         network = self.runtime.topology.network
         metrics = self.sim.metrics
@@ -731,7 +790,7 @@ class ExecutionCoordinator:
                 )
             try:
                 yield transfer.done
-                return
+                return transfer
             except LinkDownError as exc:
                 if attempt >= policy.max_attempts:
                     raise ExecutionError(
@@ -845,6 +904,12 @@ class ExecutionCoordinator:
         else:
             outputs = [None] * node.n_out_ports
         final_assignment = self.assignment[task_id]
+        if self.runtime.integrity is not None:
+            for port, value in enumerate(outputs):
+                self.runtime.integrity.record_artifact(
+                    self.afg.name, task_id, port, value,
+                    final_assignment.primary_host,
+                )
         self._journal_append(
             "task_complete",
             task=task_id,
@@ -901,12 +966,17 @@ class ExecutionCoordinator:
                 edge=[edge.src, edge.dst], size_mb=edge.size_mb,
             )
         try:
-            yield from self._transfer_with_retry(
-                src_host, dst_host, edge.size_mb,
-                label=f"{edge.src}->{edge.dst}", record=record,
-                reason="dataflow", edge=edge,
-            )
-        except ExecutionError as exc:
+            if self.runtime.integrity is None:
+                yield from self._transfer_with_retry(
+                    src_host, dst_host, edge.size_mb,
+                    label=f"{edge.src}->{edge.dst}", record=record,
+                    reason="dataflow", edge=edge,
+                )
+            else:
+                yield from self._deliver_verified(
+                    edge, record, parent_span=out_span or span
+                )
+        except (ExecutionError, DataIntegrityError) as exc:
             if out_span is not None:
                 self.spans.close(
                     out_span, source=f"app:{self.afg.name}", status="failed",
@@ -923,17 +993,228 @@ class ExecutionCoordinator:
         self._edge_value[key] = value
         self._edge_ready[key].succeed(value)
 
+    def _deliver_verified(self, edge: Edge, record: TaskRecord,
+                          parent_span=None):
+        """One edge delivery under the integrity repair ladder (DESIGN §16).
+
+        Every arriving copy is checked against the producer's recorded
+        content hash.  A mismatch is refetched from the sender up to
+        ``max_refetches`` times; an artifact corrupt beyond that — or
+        one whose staged copy was lost — is regenerated by re-executing
+        its producer lineage; an artifact that exhausts its
+        regeneration budget is poison-quarantined and this edge fails
+        with the typed :class:`PoisonedArtifactError`.  Only a verified
+        copy is ever recorded as consumed (invariant I12).
+        """
+        integrity = self.runtime.integrity
+        policy = integrity.policy
+        app = self.afg.name
+        label = f"{edge.src}->{edge.dst}"
+        expected = integrity.recorded_hash(app, edge.src, edge.src_port)
+        incident = None
+        repair_span = None
+        refetches_left = policy.max_refetches
+
+        def ensure_repair_span():
+            nonlocal repair_span
+            if repair_span is None and self.spans.enabled:
+                repair_span = self.spans.open(
+                    SpanKind.REPAIR, app, parent=parent_span,
+                    source=f"app:{app}", edge=[edge.src, edge.dst],
+                )
+
+        def close_repair_span(status: str) -> None:
+            nonlocal repair_span
+            if repair_span is not None:
+                self.spans.close(
+                    repair_span, source=f"app:{app}", status=status,
+                )
+                repair_span = None
+
+        try:
+            while True:
+                artifact = integrity.artifact(app, edge.src, edge.src_port)
+                if artifact is not None and artifact.poisoned:
+                    raise PoisonedArtifactError(
+                        f"artifact {edge.src}[{edge.src_port}] of {app!r} is "
+                        "quarantined; consumer fails typed"
+                    )
+                if artifact is not None and artifact.lost:
+                    # staged copy vanished: refetch cannot help, go
+                    # straight to lineage regeneration
+                    if incident is None:
+                        incident = integrity.open_incident(app, label, "lost")
+                    ensure_repair_span()
+                    yield from self._regenerate(
+                        edge.src, incident, depth=1, span=repair_span
+                    )
+                    continue
+                src_host = self.assignment[edge.src].primary_host
+                dst_host = self.assignment[edge.dst].primary_host
+                transfer = yield from self._transfer_with_retry(
+                    src_host, dst_host, edge.size_mb, label=label,
+                    record=record, reason="dataflow", edge=edge,
+                )
+                if transfer is None or transfer.corruption is None:
+                    integrity.record_consumption(
+                        app, label, clean=True, expected_hash=expected
+                    )
+                    if incident is not None:
+                        integrity.resolve(
+                            incident,
+                            "regenerated"
+                            if incident["regenerations"]
+                            else "refetched",
+                        )
+                    close_repair_span("repaired")
+                    return
+                # hash mismatch: the damaged copy is never consumed
+                if incident is None:
+                    incident = integrity.open_incident(app, label, "corrupt")
+                integrity.note_corruption(
+                    app, label, transfer.corruption, expected
+                )
+                ensure_repair_span()
+                if refetches_left > 0:
+                    refetches_left -= 1
+                    incident["refetches"] += 1
+                    record.repair_refetches += 1
+                    integrity.note_refetch(
+                        app, label, incident["refetches"]
+                    )
+                    continue
+                # refetch budget spent: regenerate, then retry with a
+                # fresh refetch budget (bounded by max_regenerations)
+                yield from self._regenerate(
+                    edge.src, incident, depth=1, span=repair_span
+                )
+                refetches_left = policy.max_refetches
+        except DataIntegrityError:
+            if incident is not None and incident["resolution"] is None:
+                integrity.resolve(incident, "poisoned")
+            close_repair_span("poisoned")
+            raise
+
+    def _regenerate(self, task_id: str, incident: Dict[str, Any], depth: int,
+                    span=None):
+        """Re-execute ``task_id`` to restore its lost/corrupt outputs.
+
+        Task implementations are deterministic pure functions of
+        ``(inputs, scale)`` (the resume-equivalence oracle), so
+        regeneration restores byte-identical artifacts; what it costs
+        is the producer's measured compute time, charged here.  When
+        the producer's own inputs are lost the regeneration recurses up
+        the lineage, bounded by ``max_depth``; each task's artifact set
+        carries a shared ``max_regenerations`` budget, after which it
+        is poisoned and consumers fail typed.
+        """
+        integrity = self.runtime.integrity
+        policy = integrity.policy
+        app = self.afg.name
+        if depth > policy.max_depth:
+            integrity.note_poison(
+                app, task_id, f"lineage depth {depth} exceeds bound"
+            )
+            raise PoisonedArtifactError(
+                f"regenerating {task_id!r} exceeds lineage depth bound "
+                f"{policy.max_depth}"
+            )
+        artifacts = integrity.task_artifacts(app, task_id)
+        # no registered artifacts (restored producer): fall back to the
+        # incident's own count so the loop stays bounded regardless
+        spent = max(
+            (a.regenerations for a in artifacts),
+            default=incident["regenerations"],
+        )
+        if spent >= policy.max_regenerations:
+            integrity.note_poison(
+                app, task_id,
+                f"regeneration budget {policy.max_regenerations} exhausted",
+            )
+            raise PoisonedArtifactError(
+                f"artifact of {task_id!r} still unusable after "
+                f"{spent} regeneration(s); quarantined"
+            )
+        # the producer's own inputs first (recursive lineage repair)
+        for in_edge in sorted(self.afg.in_edges(task_id),
+                              key=lambda e: (e.src, e.src_port)):
+            upstream = integrity.artifact(app, in_edge.src, in_edge.src_port)
+            if upstream is not None and upstream.lost:
+                yield from self._regenerate(
+                    in_edge.src, incident, depth + 1, span=span
+                )
+        producer = self.records.get(task_id)
+        assignment = self.assignment[task_id]
+        charged = (
+            producer.measured_time
+            if producer is not None and producer.measured_time > 0
+            else assignment.predicted_time
+        )
+        incident["regenerations"] += 1
+        if producer is not None:
+            producer.repair_regenerations += 1
+        for artifact in artifacts:
+            artifact.regenerations += 1
+        integrity.note_regeneration(app, task_id, depth, charged)
+        regen_span = None
+        if span is not None and self.spans.enabled:
+            regen_span = self.spans.open(
+                SpanKind.REPAIR, app, parent=span, source=f"app:{app}",
+                task=task_id, depth=depth,
+            )
+        yield Timeout(charged)
+        if regen_span is not None:
+            self.spans.close(regen_span, source=f"app:{app}")
+        # pure re-execution restored the staged copies on the host
+        for artifact in artifacts:
+            artifact.lost = False
+            artifact.host = assignment.primary_host
+
     def _stage_with_retry(self, spec, src_host: str, dst_host: str,
                           record: TaskRecord):
-        """``io_service.stage`` hardened against link outages."""
+        """``io_service.stage`` hardened against link outages.
+
+        With integrity on, a stage-in whose transfer arrived damaged
+        (:class:`CorruptPayloadError` from the I/O service) is
+        refetched up to the policy's budget; file inputs have no
+        lineage to regenerate from, so an exhausted budget fails typed
+        (I13's typed-termination arm).
+        """
         policy = self.data_policy
+        integrity = self.runtime.integrity
         rng = self.sim.rng(f"retry:{self.afg.name}:stage:{spec.path}")
+        refetches_left = (
+            integrity.policy.max_refetches if integrity is not None else 0
+        )
+        incident = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
                 value = yield from self.runtime.io_service.stage(
                     spec, src_host, dst_host
                 )
+                if incident is not None:
+                    integrity.resolve(incident, "refetched")
                 return value
+            except CorruptPayloadError as exc:
+                # io_service already emitted CORRUPT_DETECTED
+                if incident is None and integrity is not None:
+                    incident = integrity.open_incident(
+                        self.afg.name, f"stage:{spec.path}", "stage-corrupt"
+                    )
+                if refetches_left <= 0:
+                    if incident is not None:
+                        integrity.resolve(incident, "poisoned")
+                    raise CorruptPayloadError(
+                        f"staging {spec.path!r} onto {dst_host} still "
+                        f"corrupt after {incident['refetches'] if incident else 0} "
+                        f"refetch(es): {exc}"
+                    ) from exc
+                refetches_left -= 1
+                incident["refetches"] += 1
+                record.repair_refetches += 1
+                integrity.note_refetch(
+                    self.afg.name, f"stage:{spec.path}", incident["refetches"]
+                )
             except LinkDownError as exc:
                 if attempt >= policy.max_attempts:
                     raise ExecutionError(
@@ -949,6 +1230,10 @@ class ExecutionCoordinator:
                         reason=str(exc),
                     )
                 yield Timeout(policy.backoff(attempt, float(rng.uniform())))
+        raise ExecutionError(
+            f"staging {spec.path!r} onto {dst_host} exhausted "
+            f"{policy.max_attempts} attempts"
+        )
 
     def _execute_with_recovery(self, node: TaskNode, record: TaskRecord, inputs,
                                span=None):

@@ -1,0 +1,264 @@
+"""End-to-end data integrity: artifact hashes, incidents, repair ledger.
+
+The paper's Data Manager moves every inter-task payload over
+point-to-point channels (§4.2) but assumes the bytes arrive intact.
+This module is the runtime half of DESIGN §16: it remembers the
+canonical content hash (:func:`repro.hashing.value_hash`) of every
+produced artifact, tracks where the staged copy lives, and keeps the
+ground-truth ledger the repair ladder and the chaos auditor both read:
+
+* every *consumption* — a value handed to a task — with whether the
+  received bytes matched the producer's recorded hash (invariant I12
+  demands these are all clean);
+* every *incident* — a detected corruption or a lost staged artifact —
+  with how it was resolved: ``refetched``, ``regenerated`` or
+  ``poisoned`` (invariant I13 demands none stay unresolved in a
+  completed application).
+
+The manager exists only when ``RuntimeConfig.data_integrity`` is set;
+with it off the runtime takes none of these paths, computes no hashes,
+and every committed trace/metrics hash stays byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hashing import value_hash
+from repro.trace.events import EventKind
+
+__all__ = ["ArtifactRecord", "IntegrityManager", "IntegrityPolicy"]
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Repair-ladder budgets (DESIGN §16).
+
+    A delivery that arrives corrupt is refetched from the sender up to
+    ``max_refetches`` times; an artifact still corrupt beyond that — or
+    one whose staged copy is lost — is *regenerated* by re-executing
+    its producer (recursively up to ``max_depth`` when the producer's
+    own inputs are gone), at most ``max_regenerations`` times before it
+    is poison-quarantined and its consumers fail typed.
+    """
+
+    max_refetches: int = 2
+    max_regenerations: int = 2
+    max_depth: int = 3
+    #: hash-check DSM remote fetches too (bounded refetch, no lineage)
+    verify_dsm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_refetches < 0:
+            raise ValueError("max_refetches must be non-negative")
+        if self.max_regenerations < 0:
+            raise ValueError("max_regenerations must be non-negative")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+
+
+@dataclass
+class ArtifactRecord:
+    """One produced output port: its hash and the staged copy's fate."""
+
+    application: str
+    task: str
+    port: int
+    content_hash: str
+    host: str
+    lost: bool = False
+    poisoned: bool = False
+    #: lineage re-executions spent on this artifact's producer
+    regenerations: int = 0
+
+
+def _artifact_key(application: str, task: str, port: int) -> Tuple[str, str, int]:
+    return (application, task, port)
+
+
+class IntegrityManager:
+    """Artifact index + integrity ledger for one runtime."""
+
+    def __init__(self, sim, policy: IntegrityPolicy, tracer=None, metrics=None):
+        self.sim = sim
+        self.policy = policy
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self.metrics = metrics if metrics is not None else sim.metrics
+        self._artifacts: Dict[Tuple[str, str, int], ArtifactRecord] = {}
+        #: every value handed to a task, with its verification verdict
+        self.consumption_log: List[Dict[str, Any]] = []
+        #: every detected corruption / loss, with its resolution
+        self.incidents: List[Dict[str, Any]] = []
+        self.corruptions_detected = 0
+        self.refetches = 0
+        self.regenerations = 0
+        self.poisoned = 0
+        self.artifacts_lost = 0
+
+    # -- artifact index ----------------------------------------------------
+
+    def record_artifact(
+        self, application: str, task: str, port: int, value: Any, host: str
+    ) -> str:
+        """Register (or restore) one produced output; returns its hash."""
+        key = _artifact_key(application, task, port)
+        existing = self._artifacts.get(key)
+        if existing is not None:
+            # regeneration restored the staged copy; budgets carry over
+            existing.lost = False
+            existing.host = host
+            return existing.content_hash
+        content_hash = value_hash(value)
+        self._artifacts[key] = ArtifactRecord(
+            application, task, port, content_hash, host
+        )
+        return content_hash
+
+    def artifact(
+        self, application: str, task: str, port: int
+    ) -> Optional[ArtifactRecord]:
+        return self._artifacts.get(_artifact_key(application, task, port))
+
+    def recorded_hash(
+        self, application: str, task: str, port: int
+    ) -> Optional[str]:
+        record = self.artifact(application, task, port)
+        return record.content_hash if record is not None else None
+
+    def task_artifacts(self, application: str, task: str) -> List[ArtifactRecord]:
+        return [
+            record
+            for record in self._artifacts.values()
+            if record.application == application and record.task == task
+        ]
+
+    def drop_host(self, host_name: str) -> int:
+        """Fault hook: vanish every staged artifact held on one host.
+
+        Duck-typed target of
+        :meth:`~repro.sim.failures.FailureInjector.schedule_artifact_loss`.
+        Returns how many artifacts were actually lost.
+        """
+        dropped = 0
+        for record in self._artifacts.values():
+            if record.host == host_name and not record.lost:
+                record.lost = True
+                dropped += 1
+        if dropped:
+            self.artifacts_lost += dropped
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.ARTIFACT_LOST, source="integrity",
+                    host=host_name, artifacts=dropped,
+                )
+        return dropped
+
+    # -- ledger ------------------------------------------------------------
+
+    def record_consumption(
+        self, application: str, edge: str, clean: bool,
+        expected_hash: Optional[str] = None,
+    ) -> None:
+        self.consumption_log.append({
+            "time": self.sim.now,
+            "application": application,
+            "edge": edge,
+            "clean": bool(clean),
+            "expected_hash": expected_hash,
+        })
+
+    def open_incident(
+        self, application: str, target: str, kind: str
+    ) -> Dict[str, Any]:
+        """One detected corruption/loss episode; resolve via :meth:`resolve`."""
+        incident = {
+            "time": self.sim.now,
+            "application": application,
+            "target": target,
+            "kind": kind,  # "corrupt" | "lost" | "stage-corrupt"
+            "refetches": 0,
+            "regenerations": 0,
+            "resolution": None,  # "refetched" | "regenerated" | "poisoned"
+        }
+        self.incidents.append(incident)
+        return incident
+
+    def resolve(self, incident: Dict[str, Any], resolution: str) -> None:
+        incident["resolution"] = resolution
+        incident["resolved_at"] = self.sim.now
+
+    # -- event/metric emission (one place, so sim + real paths agree) ------
+
+    def note_corruption(
+        self, application: str, target: str, mode: str,
+        expected_hash: Optional[str],
+    ) -> None:
+        self.corruptions_detected += 1
+        self.metrics.counter(
+            "vdce_corruptions_detected_total",
+            "payload hash mismatches caught before consumption",
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.CORRUPT_DETECTED, source="integrity",
+                application=application, target=target, mode=mode,
+                expected_hash=expected_hash,
+            )
+
+    def note_refetch(self, application: str, target: str, attempt: int) -> None:
+        self.refetches += 1
+        self.metrics.counter(
+            "vdce_refetches_total",
+            "verify-and-refetch repair attempts",
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.REFETCH, source="integrity",
+                application=application, target=target, attempt=attempt,
+            )
+
+    def note_regeneration(
+        self, application: str, task: str, depth: int, charged_s: float
+    ) -> None:
+        self.regenerations += 1
+        self.metrics.counter(
+            "vdce_regenerations_total",
+            "lineage-based producer re-executions",
+        ).inc()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.REGENERATE, source="integrity",
+                application=application, task=task, depth=depth,
+                charged_s=charged_s,
+            )
+
+    def note_poison(self, application: str, task: str, reason: str) -> None:
+        self.poisoned += 1
+        self.metrics.counter(
+            "vdce_poisoned_artifacts_total",
+            "artifacts quarantined after exhausting their repair budget",
+        ).inc()
+        for record in self.task_artifacts(application, task):
+            record.poisoned = True
+        if self.tracer.enabled:
+            self.tracer.emit(
+                EventKind.POISON, source="integrity",
+                application=application, task=task, reason=reason,
+            )
+
+    # -- reporting ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "corruptions_detected": self.corruptions_detected,
+            "refetches": self.refetches,
+            "regenerations": self.regenerations,
+            "poisoned": self.poisoned,
+            "artifacts_lost": self.artifacts_lost,
+            "incidents": [dict(i) for i in self.incidents],
+            "consumptions": len(self.consumption_log),
+            "dirty_consumptions": sum(
+                1 for c in self.consumption_log if not c["clean"]
+            ),
+        }

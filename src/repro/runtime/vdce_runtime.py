@@ -43,6 +43,7 @@ from repro.repository.store import SiteRepository
 from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
 from repro.runtime.group_manager import GroupManager
+from repro.runtime.integrity import IntegrityManager, IntegrityPolicy
 from repro.runtime.monitor import MonitorDaemon
 from repro.runtime.services import ConsoleService, IOService
 from repro.runtime.site_manager import SiteManager
@@ -127,6 +128,11 @@ class RuntimeConfig:
     overload: Optional[OverloadPolicy] = None
     #: per-WAN-link RPC circuit breakers (None = disabled)
     breaker: Optional[BreakerPolicy] = None
+    #: end-to-end data integrity: content-hash every produced artifact,
+    #: verify on receive/stage-in, repair via refetch → lineage
+    #: regeneration → poison-quarantine (None = disabled: no hashes are
+    #: computed, no extra RNG is drawn, traces/hashes unchanged)
+    data_integrity: Optional[IntegrityPolicy] = None
 
     def __post_init__(self) -> None:
         if self.monitor_period_s <= 0 or self.echo_period_s <= 0:
@@ -283,8 +289,19 @@ class VDCERuntime:
         for manager in self.site_managers.values():
             manager.peers = dict(self.site_managers)
 
+        #: end-to-end data integrity (artifact hashes + repair ladder);
+        #: None when disabled — no hashing, no verification, no repair
+        self.integrity: Optional[IntegrityManager] = (
+            IntegrityManager(
+                self.sim, config.data_integrity,
+                tracer=self.tracer, metrics=self.metrics,
+            )
+            if config.data_integrity is not None
+            else None
+        )
         self.io_service = IOService(
-            self.sim, topology.network, self.stats, tracer=self.tracer
+            self.sim, topology.network, self.stats, tracer=self.tracer,
+            integrity=self.integrity,
         )
         self.console = ConsoleService(self.sim)
         self._monitoring_started = False

@@ -49,6 +49,17 @@ I10 — *bounded admission* (only with ``storm_apps > 0``): the admission
 I11 — *breaker silence* (only with ``breakers=True``): while a circuit
      is open, no message is sent on that link — every send either
      precedes the trip or is the half-open probe at window end.
+I12 — *no dirty consumption* (only with ``data_integrity=True``): no
+     task ever consumes bytes whose content hash mismatches the
+     producer's recorded hash — every consumption in the integrity
+     ledger is clean, because a mismatch is always caught and repaired
+     (or fails typed) before the value reaches a task.
+I13 — *repair or typed death* (only with ``data_integrity=True``):
+     every corruption/loss incident ends ``refetched`` or
+     ``regenerated``, or is ``poisoned`` with the owning application
+     terminating in a typed failure — a completed application never
+     leaves an incident unresolved, and never completes past a
+     poisoned artifact.
 
 Campaigns can also inject *performance* faults — scripted host
 slowdowns and stochastic slow/normal flapping — and enable the
@@ -77,6 +88,7 @@ from repro.sim.kernel import Timeout
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "corruption_smoke_config",
     "run_campaign",
     "slowdown_smoke_config",
     "smoke_config",
@@ -86,6 +98,21 @@ __all__ = [
 #: worst-case lag between a Group Manager detection and the repository
 #: update it triggers (one lossless LAN notify), plus scheduling slack
 _REPORT_DELIVERY_SLACK_S = 0.5
+
+#: the corruption/integrity knobs and their defaults — a config where
+#: every one matches is serialised without them (see ChaosReport.to_dict)
+_CORRUPTION_DEFAULTS = {
+    "data_integrity": False,
+    "integrity_max_refetches": 2,
+    "integrity_max_regenerations": 2,
+    "n_corrupt_links": 0,
+    "link_corrupt_prob": 0.0,
+    "link_truncate_prob": 0.0,
+    "corruption_at_s": 10.0,
+    "corruption_duration_s": None,
+    "artifact_loss_at_s": None,
+    "journal_corrupt_at_s": None,
+}
 
 
 @dataclass(frozen=True)
@@ -170,6 +197,28 @@ class ChaosConfig:
     # RuntimeConfig: off, so existing configs hash identically)
     overload: bool = False
     breakers: bool = False
+    # data-plane integrity (DESIGN §16): end-to-end checksums and the
+    # refetch → lineage-regeneration → poison repair ladder.  Default
+    # mirrors RuntimeConfig: off — and :meth:`ChaosReport.to_dict`
+    # omits these keys entirely when every one sits at its default, so
+    # existing configs' campaign hashes stay byte-identical
+    data_integrity: bool = False
+    integrity_max_refetches: int = 2
+    integrity_max_regenerations: int = 2
+    # corruption faults: armed WAN links flip/truncate payloads with
+    # these per-transfer probabilities (victims drawn from chaos:plan
+    # after every other victim, so arming never perturbs crash plans)
+    n_corrupt_links: int = 0
+    link_corrupt_prob: float = 0.0
+    link_truncate_prob: float = 0.0
+    corruption_at_s: float = 10.0
+    corruption_duration_s: Optional[float] = None
+    # scripted staged-artifact loss on one host (needs data_integrity —
+    # the artifact index is what gets damaged); None disables
+    artifact_loss_at_s: Optional[float] = None
+    # scripted checkpoint-journal bit-rot on one app's journal (victim
+    # app drawn from chaos:plan); None disables
+    journal_corrupt_at_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_sites < 1 or self.hosts_per_site < 1:
@@ -209,6 +258,27 @@ class ChaosConfig:
                 raise ValueError(
                     "storm_max_queued/storm_max_concurrent must be >= 1"
                 )
+        if self.n_corrupt_links < 0:
+            raise ValueError("n_corrupt_links must be non-negative")
+        if not (0.0 <= self.link_corrupt_prob < 1.0):
+            raise ValueError("link_corrupt_prob must be in [0, 1)")
+        if not (0.0 <= self.link_truncate_prob < 1.0):
+            raise ValueError("link_truncate_prob must be in [0, 1)")
+        if self.link_corrupt_prob + self.link_truncate_prob >= 1.0:
+            raise ValueError("corruption probabilities must sum below 1")
+        if self.integrity_max_refetches < 0 or self.integrity_max_regenerations < 0:
+            raise ValueError("integrity repair budgets must be non-negative")
+        if self.artifact_loss_at_s is not None and not self.data_integrity:
+            raise ValueError(
+                "artifact_loss_at_s damages the integrity artifact index "
+                "— it needs data_integrity=True"
+            )
+        if self.n_corrupt_links > 0 and not self.data_integrity:
+            raise ValueError(
+                "n_corrupt_links marks payloads that only the integrity "
+                "machinery can detect — it needs data_integrity=True "
+                "(silent corruption would make I12/I13 unauditable)"
+            )
 
 
 def smoke_config(seed: int = 0) -> ChaosConfig:
@@ -264,6 +334,37 @@ def slowdown_smoke_config(seed: int = 0) -> ChaosConfig:
         detector="phi",
         speculation=True,
         health=True,
+    )
+
+
+def corruption_smoke_config(seed: int = 0) -> ChaosConfig:
+    """The data-integrity campaign CI runs: every WAN link flips or
+    truncates payloads, one host's staged artifacts vanish mid-run, one
+    app's checkpoint journal takes a bit of rot — with end-to-end
+    checksums and the refetch/regenerate/poison repair ladder armed.
+    A Site Manager crash keeps the checkpoint-resume path in play so
+    the journal fault has somewhere to bite."""
+    return ChaosConfig(
+        seed=seed,
+        n_sites=3,
+        hosts_per_site=3,
+        n_apps=4,
+        duration_s=240.0,
+        app_spacing_s=35.0,
+        n_flaky_hosts=0,
+        n_flaky_links=0,
+        partition_at_s=None,
+        sm_crash_at_s=90.0,
+        sm_crash_duration_s=45.0,
+        message_loss_prob=0.02,
+        echo_loss_prob=0.02,
+        data_integrity=True,
+        n_corrupt_links=3,
+        link_corrupt_prob=0.35,
+        link_truncate_prob=0.10,
+        corruption_at_s=10.0,
+        artifact_loss_at_s=60.0,
+        journal_corrupt_at_s=80.0,
     )
 
 
@@ -330,14 +431,23 @@ class ChaosReport:
     brownout_shifts: int = 0
     breaker_transitions: int = 0
     breaker_fast_fails: int = 0
+    #: integrity ledger snapshot (None unless the campaign armed it)
+    integrity: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "config": asdict(self.config),
+        config = asdict(self.config)
+        # a config with every corruption knob at its default serialises
+        # exactly as it did before the knobs existed, so the committed
+        # campaign hashes of the older presets stay byte-identical
+        if all(config[k] == v for k, v in _CORRUPTION_DEFAULTS.items()):
+            for key in _CORRUPTION_DEFAULTS:
+                del config[key]
+        document = {
+            "config": config,
             "outcomes": {k: self.outcomes[k] for k in sorted(self.outcomes)},
             "violations": list(self.violations),
             "injection_events": self.injection_events,
@@ -359,6 +469,9 @@ class ChaosReport:
             "breaker_fast_fails": self.breaker_fast_fails,
             "ok": self.ok,
         }
+        if self.integrity is not None:
+            document["integrity"] = self.integrity
+        return document
 
     def campaign_hash(self) -> str:
         """Content hash of the whole campaign outcome (I3's oracle)."""
@@ -410,7 +523,9 @@ def run_campaign(
         AdmissionQueue,
         AdmissionRejected,
     )
+    from repro.errors import DataIntegrityError, JournalCorruptError
     from repro.runtime.execution import ExecutionCoordinator, ExecutionError
+    from repro.runtime.integrity import IntegrityPolicy
     from repro.runtime.overload import OverloadPolicy
     from repro.runtime.straggler import HealthPolicy, SpeculationPolicy
     from repro.runtime.vdce_runtime import RuntimeConfig
@@ -421,7 +536,7 @@ def run_campaign(
 
     typed_errors = (
         ExecutionError, SchedulingError, RpcTimeout, ManagerUnavailable,
-        HostDownError,
+        HostDownError, DataIntegrityError, JournalCorruptError,
     )
 
     tracer = Tracer()
@@ -439,6 +554,13 @@ def run_campaign(
             causal_spans=config.causal_spans,
             overload=OverloadPolicy() if config.overload else None,
             breaker=BreakerPolicy() if config.breakers else None,
+            data_integrity=(
+                IntegrityPolicy(
+                    max_refetches=config.integrity_max_refetches,
+                    max_regenerations=config.integrity_max_regenerations,
+                )
+                if config.data_integrity else None
+            ),
         ),
         tracer=tracer,
         metrics=MetricsRegistry(),
@@ -518,6 +640,31 @@ def run_campaign(
                 mean_slow_s=config.flap_mean_slow_s,
                 factor=config.flap_factor,
             )
+    # data-plane corruption victims draw last, so arming them leaves
+    # every crash/slowdown plan of an existing config untouched
+    n_corrupt = min(config.n_corrupt_links, len(site_pairs))
+    if n_corrupt:
+        picks = sorted(plan_rng.choice(
+            len(site_pairs), size=n_corrupt, replace=False
+        ))
+        for i in picks:
+            a, b = site_pairs[int(i)]
+            injector.schedule_link_corruption(
+                network.wan_link(a, b),
+                time=config.corruption_at_s,
+                corrupt_prob=config.link_corrupt_prob,
+                truncate_prob=config.link_truncate_prob,
+                duration=config.corruption_duration_s,
+            )
+    if config.artifact_loss_at_s is not None and runtime.integrity is not None:
+        victim_host = all_hosts[int(plan_rng.choice(len(all_hosts)))].name
+        injector.schedule_artifact_loss(
+            runtime.integrity, victim_host, config.artifact_loss_at_s
+        )
+    journal_victim = (
+        int(plan_rng.choice(config.n_apps))
+        if config.journal_corrupt_at_s is not None else None
+    )
 
     # -- submit the application stream -------------------------------------
     outcomes: Dict[str, Dict[str, Any]] = {}
@@ -525,12 +672,20 @@ def run_campaign(
     #: app name -> (afg, ApplicationResult) of the completed run (for I5)
     completed_runs: Dict[str, Tuple[Any, Any]] = {}
 
-    def run_app(afg, submit_site: str, delay: float):
+    def run_app(afg, submit_site: str, delay: float,
+                corrupt_journal: bool = False):
         yield Timeout(delay)
         submitted = sim.now
         # every app journals to an in-memory journal: same record stream
         # and byte accounting as a durable one, no filesystem
         journal = CheckpointJournal(None)
+        if corrupt_journal:
+            # the journal exists only from submission on; a fault slot
+            # already in the past fires immediately
+            injector.schedule_journal_corruption(
+                journal, max(config.journal_corrupt_at_s, sim.now),
+                label=afg.name,
+            )
         restarted = False
         try:
             try:
@@ -610,7 +765,11 @@ def run_campaign(
     for i, afg in enumerate(_build_apps(config)):
         submit_site = sites[i % len(sites)]
         delay = config.first_submit_s + i * config.app_spacing_s
-        procs.append(sim.process(run_app(afg, submit_site, delay), name=f"chaos:{afg.name}"))
+        procs.append(sim.process(
+            run_app(afg, submit_site, delay,
+                    corrupt_journal=(i == journal_victim)),
+            name=f"chaos:{afg.name}",
+        ))
 
     # -- the arrival storm (bounded admission under overload) ---------------
     storm_queue = None
@@ -918,6 +1077,46 @@ def run_campaign(
         for problem in runtime.breakers.open_violations(sim.now):
             violations.append(f"I11: {problem}")
 
+    # I12/I13: data-plane integrity (only audited when armed)
+    integrity_section = None
+    if runtime.integrity is not None:
+        ledger = runtime.integrity
+        # I12: every consumption in the ledger is clean — a task never
+        # received bytes that mismatched the producer's recorded hash
+        for consumption in ledger.consumption_log:
+            if not consumption["clean"]:
+                violations.append(
+                    f"I12: application {consumption['application']!r} "
+                    f"consumed bytes on {consumption['edge']!r} that "
+                    "mismatch the producer's recorded content hash"
+                )
+        # I13: every incident is repaired, or poisoned with its
+        # application dead; a completed app never carries an open
+        # incident and never completes past a poisoned artifact
+        completed = {
+            name for name, outcome in outcomes.items()
+            if outcome["status"] == "completed"
+        }
+        for incident in ledger.incidents:
+            resolution = incident["resolution"]
+            app = incident["application"]
+            if resolution in ("refetched", "regenerated"):
+                continue
+            if resolution == "poisoned":
+                if app in completed:
+                    violations.append(
+                        f"I13: application {app!r} completed despite the "
+                        f"poison-quarantined {incident['target']!r}"
+                    )
+                continue
+            if app in completed:
+                violations.append(
+                    f"I13: application {app!r} completed with an "
+                    f"unresolved {incident['kind']} incident on "
+                    f"{incident['target']!r}"
+                )
+        integrity_section = ledger.as_dict()
+
     if trace_path is not None:
         from repro.trace.serialize import write_jsonl
 
@@ -968,6 +1167,7 @@ def run_campaign(
             runtime.breakers.fast_fails
             if runtime.breakers is not None else 0
         ),
+        integrity=integrity_section,
     )
 
 

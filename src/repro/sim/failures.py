@@ -44,7 +44,9 @@ class FailureEvent:
 
     time: float
     host: str
-    kind: str  # "down" | "up" | "partition" | "heal" | "slow" | "normal"
+    # "down" | "up" | "partition" | "heal" | "slow" | "normal"
+    # | "corrupt-armed" | "artifact-loss" | "journal-corrupt"
+    kind: str
     #: slowdown factor for "slow" events (1.0 otherwise)
     factor: float = 1.0
 
@@ -311,6 +313,90 @@ class FailureInjector:
         self.sim.call_at(time, crash)
         if duration is not None:
             self.sim.call_at(time + duration, recover)
+
+    # -- data-plane corruption faults ------------------------------------------
+
+    def schedule_link_corruption(
+        self,
+        link: Link,
+        time: float,
+        corrupt_prob: float,
+        truncate_prob: float = 0.0,
+        duration: Optional[float] = None,
+    ) -> None:
+        """Arm payload bit-flip/truncation on ``link`` at ``time``.
+
+        With ``duration`` the link is disarmed that much later.  The
+        per-transfer draws come from the link's own ``corrupt:<name>``
+        stream (see :meth:`Link._maybe_corrupt`), so arming one link
+        never perturbs another's fate and unarmed runs draw nothing.
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule link corruption in the past")
+        if duration is not None and duration <= 0:
+            raise ValueError("corruption duration must be positive")
+
+        def arm() -> None:
+            link.corrupt_prob = corrupt_prob
+            link.truncate_prob = truncate_prob
+            self.log.append(
+                FailureEvent(self.sim.now, link.spec.name, "corrupt-armed")
+            )
+
+        def disarm() -> None:
+            link.corrupt_prob = 0.0
+            link.truncate_prob = 0.0
+            self.log.append(FailureEvent(self.sim.now, link.spec.name, "normal"))
+
+        self.sim.call_at(time, arm)
+        if duration is not None:
+            self.sim.call_at(time + duration, disarm)
+
+    def schedule_artifact_loss(self, store, host_name: str, time: float) -> None:
+        """Vanish every staged artifact held on ``host_name`` at ``time``.
+
+        ``store`` is duck-typed (``drop_host(host_name) -> int``, the
+        :class:`~repro.runtime.integrity.IntegrityManager`'s artifact
+        index) to keep this module's no-runtime-imports layering, like
+        the manager-crash hooks above.  Only an *effective* loss — one
+        that actually dropped artifacts — is logged.
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule artifact loss in the past")
+
+        def lose() -> None:
+            dropped = store.drop_host(host_name)
+            if dropped:
+                self.log.append(
+                    FailureEvent(
+                        self.sim.now, f"artifacts:{host_name}", "artifact-loss"
+                    )
+                )
+
+        self.sim.call_at(time, lose)
+
+    def schedule_journal_corruption(self, journal, time: float, label: str) -> None:
+        """Damage one checkpoint-journal record at ``time``.
+
+        ``journal`` is duck-typed (``inject_corruption(rng)``); the byte
+        or record to damage is drawn from the stream
+        ``corrupt:journal:<label>`` so journal faults compose with every
+        other injector without perturbing their draws.
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule journal corruption in the past")
+
+        def corrupt() -> None:
+            rng = self.sim.rng(f"corrupt:journal:{label}")
+            detail = journal.inject_corruption(rng)
+            if detail.get("offset") is not None or detail.get("index") is not None:
+                self.log.append(
+                    FailureEvent(
+                        self.sim.now, f"journal:{label}", "journal-corrupt"
+                    )
+                )
+
+        self.sim.call_at(time, corrupt)
 
     # -- stochastic ------------------------------------------------------------
 

@@ -93,6 +93,12 @@ class Transfer:
         self.started_at = link.sim.now
         self.finished_at: Optional[float] = None
         self.done: Signal = link.sim.signal(f"{link.spec.name}:{label}:done")
+        #: payload damage drawn at completion on an armed link:
+        #: None (clean) | "bitflip" | "truncation".  The simulated value
+        #: itself is never mangled (the pure-evaluation oracle must
+        #: hold); receivers with integrity checking enabled treat a
+        #: non-None marker as a content-hash mismatch.
+        self.corruption: Optional[str] = None
 
     @property
     def elapsed(self) -> float:
@@ -125,6 +131,16 @@ class Link:
         self.loss_prob = 0.0
         #: additional one-way control-message delay (congestion, long routes)
         self.extra_delay_s = 0.0
+        #: per-transfer payload damage probabilities (data plane).  Drawn
+        #: once per completed transfer from the link's own
+        #: ``corrupt:<name>`` RNG stream, and only when armed — an
+        #: unarmed link draws nothing, so fault-free runs are
+        #: byte-identical with or without the integrity machinery.
+        self.corrupt_prob = 0.0
+        self.truncate_prob = 0.0
+        self.corruptions = 0
+        #: ground truth for the chaos auditor: (time, label, mode)
+        self.corruption_log: List[Tuple[float, str, str]] = []
 
     @property
     def n_active(self) -> int:
@@ -183,6 +199,7 @@ class Link:
             self._settle()
             if t.remaining_mb <= 0.0:
                 t.finished_at = self.sim.now
+                self._maybe_corrupt(t)
                 self.sim.call_at(self.sim.now, lambda: t.done.succeed(t))
                 return
             self._active.append(t)
@@ -242,11 +259,34 @@ class Link:
         for t in finished:
             self._active.remove(t)
             t.finished_at = self.sim.now
+            self._maybe_corrupt(t)
             self.sim.trace(
                 "net.xfer.done", link=self.spec.name, label=t.label, elapsed=t.elapsed
             )
             t.done.succeed(t)
         self._reschedule_completion()
+
+    def _maybe_corrupt(self, t: Transfer) -> None:
+        """Draw payload damage for one completing transfer.
+
+        One uniform per transfer, from this link's own RNG stream, only
+        while armed: completion *order* on a link is deterministic, so
+        the draw sequence — and with it the whole campaign — is too.
+        """
+        if self.corrupt_prob <= 0.0 and self.truncate_prob <= 0.0:
+            return
+        u = float(self.sim.rng(f"corrupt:{self.spec.name}").random())
+        if u < self.corrupt_prob:
+            t.corruption = "bitflip"
+        elif u < self.corrupt_prob + self.truncate_prob:
+            t.corruption = "truncation"
+        else:
+            return
+        self.corruptions += 1
+        self.corruption_log.append((self.sim.now, t.label, t.corruption))
+        self.sim.trace(
+            "net.xfer.corrupt", link=self.spec.name, label=t.label, mode=t.corruption
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.spec.name!r}, active={len(self._active)})"
@@ -451,6 +491,25 @@ class Network:
             raise SimulationError("extra delay must be non-negative")
         for link in self._select_wans(site_a, site_b):
             link.extra_delay_s = extra_s
+
+    def set_corruption(self, corrupt_prob: float, truncate_prob: float = 0.0,
+                       site_a: Optional[str] = None,
+                       site_b: Optional[str] = None) -> None:
+        """Arm data-plane payload damage on WAN links.
+
+        With both sites given, targets that pair's link; with neither,
+        every WAN link of the (full-mesh) federation.  Unlike
+        ``loss_prob`` this affects *bulk data transfers*: a completing
+        transfer is marked bit-flipped or truncated with the given
+        probabilities (one draw per transfer, per-link RNG stream).
+        """
+        if corrupt_prob < 0 or truncate_prob < 0 or corrupt_prob + truncate_prob >= 1.0:
+            raise SimulationError(
+                "corruption probabilities must be non-negative and sum below 1"
+            )
+        for link in self._select_wans(site_a, site_b):
+            link.corrupt_prob = corrupt_prob
+            link.truncate_prob = truncate_prob
 
     def _select_wans(self, site_a: Optional[str], site_b: Optional[str]) -> List[Link]:
         if (site_a is None) != (site_b is None):

@@ -93,6 +93,13 @@ class EventKind:
     BREAKER_HALF_OPEN = "breaker_half_open"
     BREAKER_CLOSE = "breaker_close"
 
+    # -- data integrity & repair (corruption fault model) ------------------
+    CORRUPT_DETECTED = "corrupt_detected"
+    ARTIFACT_LOST = "artifact_lost"
+    REFETCH = "refetch"
+    REGENERATE = "regenerate"
+    POISON = "poison"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

@@ -5,6 +5,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.errors import JournalCorruptError
 from repro.runtime.checkpoint import (
     ApplicationCheckpoint,
     CheckpointJournal,
@@ -77,7 +78,7 @@ class TestCrashConsistency:
             "schedule", "reschedule",
         ]
 
-    def test_corrupt_line_stops_the_read_there(self, tmp_path):
+    def test_corrupt_interior_line_aborts_the_read_loudly(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")
         journal = CheckpointJournal(path)
         journal.append("schedule", application="app")
@@ -87,9 +88,26 @@ class TestCrashConsistency:
         # flip bits inside the middle record's body: its crc no longer matches
         lines[1] = lines[1].replace(b'"t0"', b'"tX"')
         (tmp_path / "journal.jsonl").write_bytes(b"".join(lines))
+        # a valid record AFTER the bad line proves in-place damage, not
+        # a torn append — resuming from a silently shortened history
+        # would be wrong, so the read must refuse, loudly and typed
+        with pytest.raises(JournalCorruptError) as excinfo:
+            CheckpointJournal.read(path)
+        assert excinfo.value.record_index == 1
+
+    def test_corrupt_tail_line_is_truncated_quietly(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = CheckpointJournal(path)
+        journal.append("schedule", application="app")
+        journal.append("task_complete", task="t0", outputs=[])
+        journal.append("task_complete", task="t1", outputs=[])
+        lines = (tmp_path / "journal.jsonl").read_bytes().splitlines(True)
+        # damage the LAST record only: indistinguishable from a torn
+        # append mid-crash, so the valid prefix is still trustworthy
+        lines[2] = lines[2].replace(b'"t1"', b'"tX"')
+        (tmp_path / "journal.jsonl").write_bytes(b"".join(lines))
         records = CheckpointJournal.read(path)
-        # nothing after the corrupt line is trusted, even if well-formed
-        assert [r["kind"] for r in records] == ["schedule"]
+        assert [r["kind"] for r in records] == ["schedule", "task_complete"]
 
     def test_every_line_is_valid_json_with_a_crc(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")

@@ -1,0 +1,100 @@
+"""Property test: a bit-flipped journal resumes exact or dies typed.
+
+The crash-consistency contract under arbitrary single/multi-bit rot
+(DESIGN §16): resuming from a damaged journal must either reproduce the
+pure-evaluation oracle byte-for-byte (the flip landed in the torn-tail
+region and was truncated away, costing only re-execution) or raise a
+*typed* error (`JournalCorruptError` for interior damage,
+`ValueError` when the schedule record itself is unreadable).  What it
+must never do is complete with different outputs — silent corruption of
+restored state is the failure mode checksummed journals exist to kill.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro import VDCE
+from repro.errors import JournalCorruptError
+from repro.runtime.checkpoint import (
+    create_checkpoint_dir,
+    expected_output_hashes,
+    final_output_hashes,
+    journal_path,
+    resume_run,
+)
+from repro.scheduler import SiteScheduler
+from repro.workloads import linear_pipeline
+
+TRIALS_PER_SEED = 3
+CRASH_AT_S = 5.0
+
+
+def crashed_run(directory, seed):
+    """A checkpointed run killed mid-flight, repos saved for resume."""
+    env = VDCE.standard(n_sites=2, hosts_per_site=2, seed=seed)
+    afg = linear_pipeline(n_stages=5, cost=4.0, edge_mb=1.0)
+    expected = expected_output_hashes(afg, env.runtime.registry)
+    journal = create_checkpoint_dir(env, str(directory))
+    table = SiteScheduler(k=1).schedule(afg, env.runtime.federation_view())
+    env.runtime.execute_process(afg, table, journal=journal)
+    env.sim.run(until=CRASH_AT_S)
+    env.save_repositories(str(directory / "repos"))
+    return expected
+
+
+def flip_bits(path, rng, n_flips, lo=0):
+    data = bytearray(path.read_bytes())
+    offsets = sorted(
+        lo + int(o)
+        for o in rng.choice(len(data) - lo, size=n_flips, replace=False)
+    )
+    for offset in offsets:
+        data[offset] ^= 1 << int(rng.integers(8))
+    path.write_bytes(bytes(data))
+    return offsets
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_bit_rot_resumes_exact_or_fails_typed(seed, tmp_path):
+    base = tmp_path / "base"
+    expected = crashed_run(base, seed)
+    pristine = (base / "journal.jsonl").read_bytes()
+    assert len(pristine) > 200  # the fuzz has a real target
+
+    rng = np.random.default_rng(1000 + seed)
+    outcomes = []
+    # trials 0..n-1 flip anywhere (in practice: interior -> typed death);
+    # the last trial aims at the final record, the torn-tail regime
+    tail_start = len(pristine.rstrip(b"\n").rsplit(b"\n", 1)[0]) + 1
+    for trial in range(TRIALS_PER_SEED + 1):
+        directory = tmp_path / f"trial-{trial}"
+        shutil.copytree(base, directory)
+        journal_file = directory / "journal.jsonl"
+        journal_file.write_bytes(pristine)
+        if trial < TRIALS_PER_SEED:
+            flip_bits(journal_file, rng, n_flips=int(rng.integers(1, 4)))
+        else:
+            flip_bits(journal_file, rng, n_flips=1, lo=tail_start)
+
+        try:
+            _env, result = resume_run(str(directory))
+        except (JournalCorruptError, ValueError):
+            outcomes.append("typed-death")
+        else:
+            # tail damage truncated quietly: re-executes more, same bytes
+            assert final_output_hashes(result) == expected
+            outcomes.append("exact")
+    # every trial landed in the contract; no third outcome exists
+    assert set(outcomes) <= {"exact", "typed-death"}
+    # the tail flip is indistinguishable from a torn append: quiet
+    # truncation plus re-execution, never a refusal
+    assert outcomes[-1] == "exact"
+
+
+def test_unfuzzed_control_resumes_exact(tmp_path):
+    """The harness itself is sound: no flips -> resume matches oracle."""
+    expected = crashed_run(tmp_path, seed=0)
+    _env, result = resume_run(str(tmp_path))
+    assert final_output_hashes(result) == expected

@@ -1,0 +1,91 @@
+"""The corruption chaos campaign: invariants I12/I13, determinism, neutrality.
+
+I12 — no dirty consumption: every value handed to a task matched its
+producer's recorded hash.  I13 — repair or typed death: every incident
+in a *completed* application resolved ``refetched`` or ``regenerated``;
+``poisoned`` incidents only ever belong to applications that failed
+typed.  And the feature's existence must not move a byte of the
+pre-existing presets' reports (the committed campaign hashes gate on
+that).
+"""
+
+import pytest
+
+from repro.sim.chaos import (
+    ChaosConfig,
+    corruption_smoke_config,
+    run_campaign,
+    smoke_config,
+)
+
+
+@pytest.fixture(scope="module")
+def corruption_report():
+    return run_campaign(corruption_smoke_config(seed=0))
+
+
+def test_corruption_campaign_passes_all_invariants(corruption_report):
+    assert corruption_report.ok, corruption_report.violations
+
+
+def test_the_ladder_actually_exercised(corruption_report):
+    """Seed 0 is chosen to cross sites: detections happen AND every
+    application still completes — the repairs worked end to end."""
+    integrity = corruption_report.integrity
+    assert integrity is not None
+    assert integrity["corruptions_detected"] >= 1
+    assert integrity["refetches"] + integrity["regenerations"] >= 1
+    assert integrity["dirty_consumptions"] == 0  # I12, directly
+    assert all(
+        o["status"] == "completed"
+        for o in corruption_report.outcomes.values()
+    )
+    for incident in integrity["incidents"]:
+        assert incident["resolution"] in ("refetched", "regenerated")
+
+
+def test_corruption_campaign_is_byte_deterministic():
+    first = run_campaign(corruption_smoke_config(seed=0))
+    second = run_campaign(corruption_smoke_config(seed=0))
+    assert first.trace_hash == second.trace_hash
+    assert first.metrics_hash == second.metrics_hash
+    assert first.campaign_hash() == second.campaign_hash()
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_other_seeds_hold_the_invariants(seed):
+    report = run_campaign(corruption_smoke_config(seed=seed))
+    assert report.ok, report.violations
+
+
+def test_report_serialises_the_integrity_section(corruption_report):
+    payload = corruption_report.to_dict()
+    assert "integrity" in payload
+    assert payload["config"]["data_integrity"] is True
+    assert {
+        "corruptions_detected", "refetches", "regenerations",
+        "poisoned", "artifacts_lost", "incidents", "dirty_consumptions",
+    } <= set(payload["integrity"])
+
+
+def test_preexisting_presets_stay_byte_neutral():
+    """The neutrality pin: with integrity off, the report dict carries
+    no corruption keys and no integrity section, so every committed
+    campaign hash predating DESIGN §16 still verifies."""
+    payload = run_campaign(smoke_config(seed=0)).to_dict()
+    assert "integrity" not in payload
+    for key in (
+        "data_integrity", "n_corrupt_links", "link_corrupt_prob",
+        "link_truncate_prob", "corruption_at_s", "artifact_loss_at_s",
+        "journal_corrupt_at_s",
+    ):
+        assert key not in payload["config"]
+
+
+def test_corruption_config_validation():
+    with pytest.raises(ValueError):
+        ChaosConfig(n_corrupt_links=-1)
+    with pytest.raises(ValueError):
+        ChaosConfig(link_corrupt_prob=0.6, link_truncate_prob=0.5)
+    with pytest.raises(ValueError):
+        ChaosConfig(n_corrupt_links=1, link_corrupt_prob=0.1)  # needs integrity on
