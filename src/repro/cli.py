@@ -729,14 +729,15 @@ def cmd_chaos(args) -> int:
     import json as _json
 
     from repro.sim.chaos import (
-        ChaosConfig, corruption_smoke_config, run_campaign,
-        slowdown_smoke_config, smoke_config, storm_config,
+        ChaosConfig, churn_smoke_config, corruption_smoke_config,
+        run_campaign, slowdown_smoke_config, smoke_config, storm_config,
     )
 
-    presets = [args.smoke, args.slowdown_smoke, args.storm, args.corruption]
+    presets = [args.smoke, args.slowdown_smoke, args.storm, args.corruption,
+               args.churn]
     if sum(bool(p) for p in presets) > 1:
-        print("error: --smoke, --slowdown-smoke, --storm and --corruption "
-              "are mutually exclusive")
+        print("error: --smoke, --slowdown-smoke, --storm, --corruption "
+              "and --churn are mutually exclusive")
         return 1
     if args.smoke:
         config = smoke_config(seed=args.seed)
@@ -746,6 +747,8 @@ def cmd_chaos(args) -> int:
         config = storm_config(seed=args.seed)
     elif args.corruption:
         config = corruption_smoke_config(seed=args.seed)
+    elif args.churn:
+        config = churn_smoke_config(seed=args.seed)
     else:
         config = ChaosConfig(
             seed=args.seed,
@@ -793,6 +796,17 @@ def cmd_chaos(args) -> int:
               f"{integ['poisoned']} poisoned, "
               f"{integ['artifacts_lost']} artifacts lost "
               f"({integ['dirty_consumptions']} dirty consumptions)")
+    if config.n_churn_hosts and report.membership is not None:
+        member = report.membership
+        counts = {}
+        for transition in member["transitions"]:
+            kind = transition["transition"]
+            counts[kind] = counts.get(kind, 0) + 1
+        print(f"  membership: {len(member['targets'])} churn targets, "
+              f"{counts.get('drain', 0)} drains, "
+              f"{counts.get('depart', 0)} departures, "
+              f"{counts.get('rejoin', 0)} rejoins; "
+              f"{member['drain_affected_tasks']} tasks evicted/re-placed")
     for name in sorted(report.outcomes):
         outcome = report.outcomes[name]
         line = f"  {name}: {outcome['status']}"
@@ -1041,6 +1055,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "corruption, artifact loss and journal rot "
                             "against end-to-end checksums and the "
                             "repair ladder (invariants I12/I13)")
+    chaos.add_argument("--churn", action="store_true",
+                       help="the elastic-membership campaign: graceful "
+                            "drains, hard decommissions and rejoins "
+                            "under load (invariants I14/I15/I16)")
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--sites", type=int, default=3)
     chaos.add_argument("--hosts", type=int, default=4)

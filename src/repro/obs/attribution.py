@@ -47,8 +47,10 @@ __all__ = [
 
 #: version stamp of the explain report layout
 #: (v3 adds the "repair" wait-state: data-integrity refetch + lineage
-#: regeneration episodes, DESIGN §16)
-ATTRIBUTION_SCHEMA_VERSION = 3
+#: regeneration episodes, DESIGN §16; v4 adds the "drain" wait-state:
+#: rescheduling forced by graceful host drains / membership changes,
+#: DESIGN §17)
+ATTRIBUTION_SCHEMA_VERSION = 4
 
 #: span kind -> wait-state category; None marks container spans whose
 #: time is attributed through their children
@@ -74,6 +76,7 @@ CATEGORY: Dict[str, Optional[str]] = {
     SpanKind.EXECUTE: "execution",
     SpanKind.SPECULATE_BACKUP: "speculation",
     SpanKind.REPAIR: "repair",
+    SpanKind.DRAIN: "drain",
 }
 
 #: when several categories are active on one elementary segment, the
@@ -82,8 +85,8 @@ CATEGORY: Dict[str, Optional[str]] = {
 #: the consumer's input wait is *caused* by the repair, and E-series
 #: repair-overhead numbers read straight off this category.
 PRIORITY: Tuple[str, ...] = (
-    "execution", "repair", "staging", "retry", "speculation", "scheduling",
-    "shed", "queue",
+    "execution", "repair", "drain", "staging", "retry", "speculation",
+    "scheduling", "shed", "queue",
 )
 
 #: every category a breakdown reports, in canonical order

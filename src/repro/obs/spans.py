@@ -103,6 +103,9 @@ class SpanKind:
     #: data-integrity repair episode: refetches + lineage regeneration
     #: from corruption/loss detection until resolution (DESIGN §16)
     REPAIR = "repair"
+    #: replacement placement after a graceful drain / membership change
+    #: evicted or invalidated the original assignment (DESIGN §17)
+    DRAIN = "drain"
 
 
 class SpanContext(NamedTuple):

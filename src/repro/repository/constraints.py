@@ -11,7 +11,9 @@ arch/OS per host) constrain placement.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.repository.resources import RegistrationSyncError
 
 __all__ = ["TaskConstraintsDB"]
 
@@ -25,6 +27,11 @@ class TaskConstraintsDB:
         self._hosts_by_task: Dict[str, List[str]] = {}
         #: bumped on any registration change (the host index watches it)
         self.version = 0
+        #: optional guard wired by the site repository: called with a
+        #: host name, True means the host is still *actively* registered
+        #: in the resource DB (removing its constraints then would leave
+        #: the two databases silently diverged)
+        self._registration_check: Optional[Callable[[str], bool]] = None
 
     def register(self, task_type: str, host: str, path: str) -> None:
         if not path.startswith("/"):
@@ -74,8 +81,25 @@ class TaskConstraintsDB:
     def hosts_supporting(self, task_type: str) -> List[str]:
         return list(self._hosts_by_task.get(task_type, []))
 
-    def remove_host(self, host: str) -> int:
-        """Drop all registrations for a decommissioned host."""
+    def remove_host(self, host: str, deregistering: bool = False) -> int:
+        """Drop all registrations for a decommissioned host.
+
+        Raises :class:`~repro.repository.resources.RegistrationSyncError`
+        when the host is still actively registered in the resource DB
+        (per the wired registration check) — except with
+        ``deregistering=True``, the flag the site repository's symmetric
+        ``deregister_host`` sets while it removes both sides atomically.
+        """
+        if (
+            not deregistering
+            and self._registration_check is not None
+            and self._registration_check(host)
+        ):
+            raise RegistrationSyncError(
+                f"cannot remove constraints for {host!r}: it is still "
+                f"actively registered in the resource DB of site "
+                f"{self.site_name!r}"
+            )
         doomed = [key for key in self._paths if key[1] == host]
         for key in doomed:
             del self._paths[key]
@@ -83,6 +107,13 @@ class TaskConstraintsDB:
         if doomed:
             self.version += 1
         return len(doomed)
+
+    def references_host(self, host: str) -> bool:
+        """True when any (task, host) registration names ``host``."""
+        return any(key[1] == host for key in self._paths)
+
+    def set_registration_check(self, check: Callable[[str], bool]) -> None:
+        self._registration_check = check
 
     def __len__(self) -> int:
         return len(self._paths)

@@ -11,10 +11,13 @@ host decommissioned), which both member databases already version.
 :class:`HostIndex` therefore caches, per task type, the name-sorted
 list of hosts with that executable installed, keyed by the pair
 ``(resources.registration_version, constraints.version)``.  Dynamic
-state — up/down status — is read per query from the live
-:class:`~repro.repository.resources.HostRecord`, so a host marked down
-between monitor reports disappears from the very next query without
-any rebuild.
+state — up/down status and membership state — is read per query from
+the live :class:`~repro.repository.resources.HostRecord`, so a host
+marked down (or draining) between monitor reports disappears from the
+very next query without any rebuild.  Membership transitions bump one
+of the two version counters (population changes bump
+``registration_version``, in-place drains bump ``state_version``), so
+every join/drain/depart/rejoin invalidates the cache by construction.
 
 Equivalence argument (pinned by ``tests/scheduler/test_host_index.py``):
 filtering commutes with sorting, so
@@ -28,7 +31,11 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.repository.constraints import TaskConstraintsDB
-from repro.repository.resources import HostRecord, ResourcePerformanceDB
+from repro.repository.resources import (
+    HostRecord,
+    MembershipState,
+    ResourcePerformanceDB,
+)
 
 __all__ = ["HostIndex"]
 
@@ -68,7 +75,7 @@ class HostIndex:
         return table
 
     def runnable_up_hosts(self, task_type: str) -> List[HostRecord]:
-        """Up hosts with ``task_type`` installed, in stable name order.
+        """Up ACTIVE hosts with ``task_type`` installed, name-ordered.
 
         Same set and order as ``sorted(SiteRepository.runnable_up_hosts
         (task_type), key=name)``.  The materialised record list is
@@ -90,10 +97,11 @@ class HostIndex:
         cached = self._record_lists.get(task_type)
         if cached is None:
             get = resources.get
+            active = MembershipState.ACTIVE
             cached = [
                 record
                 for name in self._table(task_type)
-                if (record := get(name)).up
+                if (record := get(name)).up and record.state == active
             ]
             self._record_lists[task_type] = cached
         return cached

@@ -21,7 +21,7 @@ from typing import Any, Dict
 
 from repro.repository.store import SiteRepository
 from repro.repository.users import AccessDomain, UserAccount
-from repro.repository.resources import HostRecord
+from repro.repository.resources import HostRecord, MembershipState
 from repro.repository.taskperf import TaskPerfRecord
 from repro.sim.host import HostSpec
 from repro.tasklib.base import ParallelModel
@@ -52,26 +52,32 @@ def snapshot_repository(repo: SiteRepository) -> Dict[str, Any]:
 
     hosts = []
     for record in repo.resources.all_hosts():
-        hosts.append(
-            {
-                "spec": {
-                    "name": record.spec.name,
-                    "speed": record.spec.speed,
-                    "memory_mb": record.spec.memory_mb,
-                    "arch": record.spec.arch,
-                    "os": record.spec.os,
-                    "ip": record.spec.ip,
-                    "thrash_factor": record.spec.thrash_factor,
-                },
-                "group": record.group,
-                "up": record.up,
-                "load": record.load,
-                "available_memory_mb": record.available_memory_mb,
-                "updated_at": record.updated_at
-                if record.updated_at != float("-inf")
-                else None,
-            }
-        )
+        row = {
+            "spec": {
+                "name": record.spec.name,
+                "speed": record.spec.speed,
+                "memory_mb": record.spec.memory_mb,
+                "arch": record.spec.arch,
+                "os": record.spec.os,
+                "ip": record.spec.ip,
+                "thrash_factor": record.spec.thrash_factor,
+            },
+            "group": record.group,
+            "up": record.up,
+            "load": record.load,
+            "available_memory_mb": record.available_memory_mb,
+            "updated_at": record.updated_at
+            if record.updated_at != float("-inf")
+            else None,
+        }
+        # Membership keys are emitted only when non-default so
+        # pre-membership snapshots and fault-free snapshots are
+        # byte-identical to what format 1 always produced.
+        if record.state != MembershipState.ACTIVE:
+            row["state"] = record.state
+        if record.epoch != 0:
+            row["epoch"] = record.epoch
+        hosts.append(row)
 
     tasks = []
     for task_type in repo.task_perf.task_types():
@@ -99,7 +105,7 @@ def snapshot_repository(repo: SiteRepository) -> Dict[str, Any]:
         for (t, h), path in sorted(repo.constraints._paths.items())  # noqa: SLF001
     ]
 
-    return {
+    snapshot = {
         "format": _FORMAT,
         "site_name": repo.site_name,
         "users": users,
@@ -108,6 +114,14 @@ def snapshot_repository(repo: SiteRepository) -> Dict[str, Any]:
         "calibrations": calibrations,
         "constraints": constraints,
     }
+    departed = repo.resources.departed_hosts()
+    if departed:
+        # Tombstones carry the epoch a rejoin must exceed; omitted when
+        # empty so pre-membership snapshots are unchanged.
+        snapshot["departed"] = {
+            name: departed[name] for name in sorted(departed)
+        }
+    return snapshot
 
 
 def restore_repository(data: Dict[str, Any]) -> SiteRepository:
@@ -132,7 +146,12 @@ def restore_repository(data: Dict[str, Any]) -> SiteRepository:
 
     for h in data["hosts"]:
         spec = HostSpec(**h["spec"])
-        repo.resources.register_host(spec, group=h["group"])
+        repo.resources.register_host(
+            spec,
+            group=h["group"],
+            state=h.get("state", MembershipState.ACTIVE),
+            epoch=h.get("epoch", 0),
+        )
         updated_at = h["updated_at"]
         if updated_at is not None:
             repo.resources.update_workload(
@@ -145,6 +164,8 @@ def restore_repository(data: Dict[str, Any]) -> SiteRepository:
                 spec.name,
                 time=updated_at if updated_at is not None else 0.0,
             )
+    for name, epoch in data.get("departed", {}).items():
+        repo.resources.restore_departed(name, epoch)
 
     for t in data["tasks"]:
         repo.task_perf.register(

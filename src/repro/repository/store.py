@@ -13,7 +13,11 @@ from typing import Iterable, Optional
 from repro.repository.constraints import TaskConstraintsDB
 from repro.repository.host_index import HostIndex
 from repro.repository.predict_cache import PredictCache
-from repro.repository.resources import ResourcePerformanceDB
+from repro.repository.resources import (
+    MembershipError,
+    MembershipState,
+    ResourcePerformanceDB,
+)
 from repro.repository.taskperf import TaskPerformanceDB
 from repro.repository.users import AccessDomain, UserAccountsDB
 from repro.sim.site import Site
@@ -35,6 +39,45 @@ class SiteRepository:
         #: derived state only — never serialized, rebuilt on restore
         self.host_index = HostIndex(self.resources, self.constraints)
         self.predict_cache = PredictCache(self.task_perf)
+        # Symmetry guards (issue 10): removing one side of a host's
+        # registration while the other still references it is a typed
+        # error, not silent divergence.  "Actively registered" excludes
+        # DRAINING — the sanctioned drain->retire sequence removes
+        # constraints while the resource row is still draining.
+        self.resources.set_constraint_check(self.constraints.references_host)
+        self.constraints.set_registration_check(self._actively_registered)
+        # Every membership transition invalidates the prediction memo:
+        # the host index re-keys itself off the version counters, but the
+        # predict cache keys only on task-perf versions and host names —
+        # a rejoined host may carry a new spec under an old name.
+        self.resources.add_membership_listener(self._on_membership_change)
+
+    def _actively_registered(self, name: str) -> bool:
+        if not self.resources.has_host(name):
+            return False
+        return self.resources.get(name).state in (
+            MembershipState.ACTIVE,
+            MembershipState.JOINING,
+            MembershipState.REJOINING,
+        )
+
+    def _on_membership_change(self, name: str, state: str) -> None:
+        self.predict_cache.clear()
+
+    def deregister_host(self, name: str) -> None:
+        """Symmetric removal of a host: constraints *and* resource row.
+
+        The sanctioned way to fully decommission a host at this layer —
+        both databases change in one step, so the cross-checks that
+        guard the individual ``remove_host``/``deregister_host`` calls
+        can never observe a diverged intermediate state.
+        """
+        if not self.resources.has_host(name):
+            raise MembershipError(
+                f"host {name!r} is not registered at site {self.site_name!r}"
+            )
+        self.constraints.remove_host(name, deregistering=True)
+        self.resources.deregister_host(name)
 
     @classmethod
     def bootstrap(
@@ -68,14 +111,19 @@ class SiteRepository:
         return repo
 
     def runnable_up_hosts(self, task_type: str) -> list:
-        """Hosts that are up *and* have the task's executable installed.
+        """Hosts that are up, ACTIVE members, and have the executable.
 
         The intersection the host-selection algorithm iterates over.
+        Non-ACTIVE membership states (joining, draining, rejoining) are
+        excluded here — the reference semantics the host index must
+        reproduce — so a draining host stops attracting placements the
+        instant its transition is recorded.
         """
         return [
             record
             for record in self.resources.up_hosts()
-            if self.constraints.is_runnable(task_type, record.name)
+            if record.state == MembershipState.ACTIVE
+            and self.constraints.is_runnable(task_type, record.name)
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

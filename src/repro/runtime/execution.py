@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.net.rpc import ManagerUnavailable, RpcTimeout
 from repro.obs.spans import SpanKind
+from repro.repository.resources import MembershipState
 from repro.runtime.checkpoint import (
     ApplicationCheckpoint,
     CheckpointJournal,
@@ -223,6 +224,14 @@ class ExecutionCoordinator:
         self.submit_site = submit_site or runtime.default_site
         #: live assignment (diverges from the table after rescheduling)
         self.assignment: Dict[str, TaskAssignment] = dict(table.assignments)
+        #: membership epoch each assigned host had when its placement was
+        #: bound (DESIGN §17): a host that departed and rejoined between
+        #: binding and execution carries a higher epoch, so its old
+        #: placement — and any late bid stamped with the old epoch — is
+        #: recognisably stale and must be re-placed, not executed.
+        self._bound_epochs: Dict[str, int] = {}
+        for assignment in self.assignment.values():
+            self._note_assignment_epochs(assignment)
         #: edge signals carrying produced values to consumers
         self._edge_ready: Dict[Tuple[str, str, int, int], Signal] = {}
         #: delivered edge values (used for re-staging after reschedule)
@@ -281,6 +290,7 @@ class ExecutionCoordinator:
         # Phase 0: journal the schedule (fresh run) or the resume.
         if self._resuming:
             self._restore_completed()
+            self._reconcile_membership(source)
             self._journal_append(
                 "resume",
                 submit_site=self.submit_site,
@@ -502,6 +512,35 @@ class ExecutionCoordinator:
                     decode_value(o["value"]) for o in rec["outputs"]
                 ]
 
+    def _reconcile_membership(self, source: str) -> None:
+        """Resume-time sweep: flag frontier tasks bound to departed hosts.
+
+        A journal can outlive its hosts — the federation that resumes an
+        application is not necessarily the one that checkpointed it
+        (satellite: issue 10).  For every incomplete task whose recorded
+        assignment names a host that since departed (or is otherwise
+        non-ACTIVE), append a typed ``membership_warning`` journal
+        record instead of crashing; the per-attempt membership check
+        then reroutes the task through the normal rescheduling path.
+        Old journal readers skip the unknown record kind.
+        """
+        for task_id in sorted(self.assignment):
+            if task_id in self._restored:
+                continue
+            assignment = self.assignment[task_id]
+            stale = self._stale_membership_hosts(assignment)
+            if not stale:
+                continue
+            self._journal_append(
+                "membership_warning", task=task_id,
+                hosts=list(assignment.hosts), stale=stale,
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    EventKind.RESUME_MEMBERSHIP_WARNING, source=source,
+                    task=task_id, stale=stale,
+                )
+
     def _live_table(self) -> AllocationTable:
         """The current assignment as a distributable table snapshot."""
         snapshot = AllocationTable(self.afg.name, scheduler=self.table.scheduler)
@@ -598,6 +637,7 @@ class ExecutionCoordinator:
                 hosts=replacement.hosts,
                 predicted_time=replacement.predicted_time,
             )
+            self._note_assignment_epochs(self.assignment[task_id])
             self._journal_append(
                 "reschedule", task=task_id, reason=reason,
                 site=replacement.site, hosts=list(replacement.hosts),
@@ -1257,6 +1297,19 @@ class ExecutionCoordinator:
             record.attempts += 1
             assignment = self.assignment[node.id]
             attempt_start = self.sim.now
+            # Membership first: a departed host has no group, no
+            # controller and no repository row, so every later check
+            # would crash on it — and a draining or rejoined-at-a-new-
+            # epoch host must not take this attempt either (churn
+            # invariant I14).  Billed to the drain wait-state.
+            stale = self._stale_membership_hosts(assignment)
+            if stale:
+                yield from self._reschedule(
+                    node, record,
+                    f"membership change: {', '.join(stale)}",
+                    span=span, span_kind=SpanKind.DRAIN,
+                )
+                continue
             # Never start a slice on a host the repository believes is
             # down — the chaos invariant the paper's two-level failure
             # detection exists to uphold.
@@ -1444,6 +1497,7 @@ class ExecutionCoordinator:
             )
             record.site = bid.site
             record.hosts = bid.hosts
+            self._note_assignment_epochs(self.assignment[node.id])
             self.stats.speculative_wins += 1
             self._speculative_wins.add(node.id)
             if self.tracer.enabled:
@@ -1610,6 +1664,52 @@ class ExecutionCoordinator:
                 f"{got} != {want}"
             )
 
+    def _note_assignment_epochs(self, assignment: TaskAssignment) -> None:
+        """Capture the membership epoch of every host in ``assignment``.
+
+        Called at binding time (construction, rescheduling, speculative
+        backup win) so :meth:`_stale_membership_hosts` can detect a
+        depart/rejoin cycle that happened in between.  Hosts a
+        checkpointed assignment names but no repository knows are left
+        unstamped — the staleness check reports them as departed.
+        """
+        repo = self.runtime.repositories.get(assignment.site)
+        if repo is None:
+            return
+        for h in assignment.hosts:
+            if repo.resources.has_host(h):
+                self._bound_epochs[h] = repo.resources.membership_epoch(h)
+
+    def _stale_membership_hosts(self, assignment: TaskAssignment) -> List[str]:
+        """Assigned hosts whose membership no longer supports placement.
+
+        A host is stale when it departed the federation (no repository
+        row), is not ACTIVE (draining hosts take no new attempts —
+        that is the entire point of a graceful drain), or carries a
+        different epoch than the one this placement was bound under
+        (departed and rejoined in between: its dynamic state was
+        discarded, so the old binding must not be trusted).  Fault-free
+        runs see every host ACTIVE at epoch 0 and this returns [].
+        """
+        repo = self.runtime.repositories.get(assignment.site)
+        if repo is None:
+            return [f"{h} (site departed)" for h in assignment.hosts]
+        stale: List[str] = []
+        for h in assignment.hosts:
+            if not repo.resources.has_host(h):
+                stale.append(f"{h} (departed)")
+                continue
+            state = repo.resources.membership_state(h)
+            if state != MembershipState.ACTIVE:
+                stale.append(f"{h} ({state})")
+                continue
+            epoch = repo.resources.membership_epoch(h)
+            if epoch != self._bound_epochs.get(h, epoch):
+                stale.append(
+                    f"{h} (epoch {self._bound_epochs[h]} -> {epoch})"
+                )
+        return stale
+
     def _believed_down_hosts(self, assignment: TaskAssignment) -> List[str]:
         """Assigned hosts believed down — repository or live manager view.
 
@@ -1639,12 +1739,18 @@ class ExecutionCoordinator:
         return self.runtime.topology.network.reachable(self.submit_site, site_name)
 
     def _reschedule(self, node: TaskNode, record: TaskRecord, reason: str,
-                    span=None):
-        """Obtain a replacement placement and re-stage inputs onto it."""
+                    span=None, span_kind: SpanKind = SpanKind.RESCHEDULE):
+        """Obtain a replacement placement and re-stage inputs onto it.
+
+        ``span_kind`` selects the wait-state the re-placement is billed
+        to: RESCHEDULE for failures/load, DRAIN when a membership
+        transition (graceful drain, decommission, rejoin) invalidated
+        the original binding.
+        """
         resched_span = None
         if span is not None and self.spans.enabled:
             resched_span = self.spans.open(
-                SpanKind.RESCHEDULE, self.afg.name, parent=span,
+                span_kind, self.afg.name, parent=span,
                 source=f"app:{self.afg.name}", task=node.id, reason=reason,
             )
         self._reschedules += 1
@@ -1703,6 +1809,7 @@ class ExecutionCoordinator:
         self.assignment[node.id] = new_assignment
         record.site = new_assignment.site
         record.hosts = new_assignment.hosts
+        self._note_assignment_epochs(new_assignment)
         self._journal_append(
             "reschedule", task=node.id, reason=reason,
             site=new_assignment.site, hosts=list(new_assignment.hosts),

@@ -158,6 +158,29 @@ class GroupManager:
         """The hosts this manager owns (the no-orphaned-group check)."""
         return frozenset(h.name for h in self.group)
 
+    # -- elastic membership (issue 10) -------------------------------------
+
+    def admit_host(self, host) -> None:
+        """Start tracking a newly joined (or rejoined) group member.
+
+        The :class:`~repro.sim.site.Group` roster itself is mutated by
+        the topology layer; this initialises the manager's beliefs for
+        the host — trusted, no missed echoes, fresh detector history.
+        """
+        self._believed_up[host.name] = True
+        self._missed[host.name] = 0
+        self._suspected[host.name] = False
+        if self.detector == "phi":
+            self._detectors[host.name] = PhiAccrualDetector(self.echo_period_s)
+
+    def retire_host(self, name: str) -> None:
+        """Forget a departed member: beliefs, suspicion, filter state."""
+        self._believed_up.pop(name, None)
+        self._missed.pop(name, None)
+        self._suspected.pop(name, None)
+        self._detectors.pop(name, None)
+        self._last_forwarded.pop(name, None)
+
     # -- crash / failover (control-plane fault model) ----------------------
 
     def crash(self) -> None:
@@ -277,6 +300,8 @@ class GroupManager:
         """
         if not self.alive:
             return  # a dead manager drops reports on the floor
+        if measurement.host not in self._believed_up:
+            return  # in-flight report from a host retired meanwhile
         metrics = self.sim.metrics
         last = self._last_forwarded.get(measurement.host)
         if last is not None and abs(measurement.load - last) < self.change_threshold:
@@ -532,7 +557,7 @@ class GroupManager:
 
     def is_suspected(self, host_name: str) -> bool:
         """Is the host under (phi) suspicion — slow, but not declared dead?"""
-        return self._suspected[host_name]
+        return self._suspected.get(host_name, False)
 
     def _send_report(self, deliver) -> None:
         """Failure/recovery report to the Site Manager over the LAN.
@@ -550,4 +575,7 @@ class GroupManager:
             self.sim.call_after(self.lan_latency_s, deliver)
 
     def believes_up(self, host_name: str) -> bool:
-        return self._believed_up[host_name]
+        # a host this manager does not track (departed, or never a
+        # member) is simply not believed *down* — membership checks,
+        # not liveness beliefs, keep placements off such hosts
+        return self._believed_up.get(host_name, True)

@@ -62,14 +62,24 @@ class MonitorDaemon:
         self.lan_latency_s = float(lan_latency_s)
         self.tracer = tracer
         self._process: Optional[Process] = None
+        self._stopped = False
 
     def start(self) -> Process:
         if self._process is not None and self._process.alive:
             raise RuntimeError(f"monitor for {self.host.name} already running")
+        self._stopped = False
         self._process = self.sim.process(
             self._run(), name=f"monitor:{self.host.name}"
         )
         return self._process
+
+    def stop(self) -> None:
+        """Retire this monitor: the loop exits at its next tick.
+
+        Used when the host leaves the federation (graceful drain or
+        decommission); no further measurements are taken or sent.
+        """
+        self._stopped = True
 
     def measure(self) -> Measurement:
         """Take one measurement of the host's current state."""
@@ -88,6 +98,8 @@ class MonitorDaemon:
         # three label-key builds per host per period.
         reports_child = load_child = mem_child = None
         while True:
+            if self._stopped:
+                return
             if self.host.is_up():
                 if not self.group_manager.alive:
                     # the manager stopped answering: this monitor's next

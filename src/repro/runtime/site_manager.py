@@ -76,6 +76,9 @@ class SiteManager:
         self.alive = True
         #: failure/recovery reports received while crashed, in order
         self._pending_reports: List[tuple] = []
+        #: runtime-wide membership coordinator, set by VDCERuntime; the
+        #: admit/drain/retire/rejoin RPCs below delegate to it
+        self.membership = None
 
     @property
     def name(self) -> str:
@@ -110,6 +113,8 @@ class SiteManager:
         self.alive = True
         pending, self._pending_reports = self._pending_reports, []
         for kind, host_name in pending:
+            if not self.repository.resources.has_host(host_name):
+                continue  # the host was deregistered while we were dead
             if kind == "down":
                 self.repository.resources.mark_down(host_name, time=self.sim.now)
             else:
@@ -137,6 +142,8 @@ class SiteManager:
 
     def receive_workload(self, measurement: Measurement) -> None:
         """Fold a forwarded measurement into the resource-performance DB."""
+        if not self.repository.resources.has_host(measurement.host):
+            return  # in-flight report from a host deregistered meanwhile
         self.repository.resources.update_workload(
             measurement.host,
             load=measurement.load,
@@ -170,13 +177,52 @@ class SiteManager:
         if not self.alive:
             self._pending_reports.append(("down", host_name))
             return
+        if not self.repository.resources.has_host(host_name):
+            return  # report raced a deregistration; the row is gone
         self.repository.resources.mark_down(host_name, time=self.sim.now)
 
     def receive_recovery(self, host_name: str) -> None:
         if not self.alive:
             self._pending_reports.append(("up", host_name))
             return
+        if not self.repository.resources.has_host(host_name):
+            return
         self.repository.resources.mark_up(host_name, time=self.sim.now)
+
+    # -- elastic membership RPCs (issue 10) ---------------------------------
+
+    def admit_host(self, spec, group_name: str, activate: bool = True):
+        """Join a new host into one of this site's groups at runtime.
+
+        A name with a departure tombstone is dispatched to the rejoin
+        path instead (same epoch-bumping reconciliation an explicit
+        :meth:`rejoin_host` performs).
+        """
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
+        if spec.name in self.repository.resources.departed_hosts():
+            return self.membership.rejoin_host(spec.name, spec=spec)
+        return self.membership.admit_host(
+            self.name, group_name, spec, activate=activate
+        )
+
+    def drain_host(self, name: str, deadline_s: float, retire: bool = True):
+        """Gracefully drain a host: no new placements, bounded finish."""
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
+        return self.membership.drain_host(name, deadline_s, retire=retire)
+
+    def retire_host(self, name: str):
+        """Hard decommission: evict resident work and deregister now."""
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
+        return self.membership.retire_host(name)
+
+    def rejoin_host(self, name: str, spec=None):
+        """Bring a departed host back under a fresh membership epoch."""
+        if not self.alive:
+            raise ManagerUnavailable(self.name)
+        return self.membership.rejoin_host(name, spec=spec)
 
     # -- allocation distribution (Fig. 4 flow 4) ----------------------------------
 
@@ -198,8 +244,12 @@ class SiteManager:
         if not self.alive:
             raise ManagerUnavailable(self.name)
         my_tasks = table.tasks_on_site(self.name)
+        site_hosts = self.site.hosts
+        # hosts named by the table that this site still has — a table
+        # built before a membership change may name a departed host,
+        # whose tasks the coordinator's membership check will move
         hosts_involved: List[str] = sorted(
-            {h for t in my_tasks for h in table.hosts_of(t)}
+            {h for t in my_tasks for h in table.hosts_of(t)} & site_hosts.keys()
         )
         done = self.sim.signal(f"alloc:{self.name}:{table.application}")
         if not hosts_involved:
@@ -237,8 +287,11 @@ class SiteManager:
                     EventKind.EXECUTION_REQUEST, source=f"sm:{self.name}",
                     application=table.application, host=host_name,
                 )
-            controller = self.app_controllers[host_name]
-            controller.receive_execution_request(table.application)
+            controller = self.app_controllers.get(host_name)
+            if controller is not None:
+                # a host retired while the request was on the LAN has no
+                # controller left; its tasks get moved at attempt time
+                controller.receive_execution_request(table.application)
             pending[0] -= 1
             if pending[0] == 0:
                 if fanout_span is not None:

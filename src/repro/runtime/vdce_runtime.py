@@ -44,6 +44,7 @@ from repro.runtime.app_controller import AppController
 from repro.runtime.execution import ApplicationResult, ExecutionCoordinator
 from repro.runtime.group_manager import GroupManager
 from repro.runtime.integrity import IntegrityManager, IntegrityPolicy
+from repro.runtime.membership import MembershipCoordinator
 from repro.runtime.monitor import MonitorDaemon
 from repro.runtime.services import ConsoleService, IOService
 from repro.runtime.site_manager import SiteManager
@@ -288,6 +289,13 @@ class VDCERuntime:
 
         for manager in self.site_managers.values():
             manager.peers = dict(self.site_managers)
+
+        #: elastic membership driver (DESIGN §17): host join / graceful
+        #: drain / decommission / rejoin at runtime.  Pure bookkeeping
+        #: until a transition is requested — fault-free runs unchanged.
+        self.membership = MembershipCoordinator(self)
+        for manager in self.site_managers.values():
+            manager.membership = self.membership
 
         #: end-to-end data integrity (artifact hashes + repair ladder);
         #: None when disabled — no hashing, no verification, no repair

@@ -60,6 +60,18 @@ I13 — *repair or typed death* (only with ``data_integrity=True``):
      terminating in a typed failure — a completed application never
      leaves an incident unresolved, and never completes past a
      poisoned artifact.
+I14 — *no placement on a non-ACTIVE host* (only with ``n_churn_hosts
+     > 0``): once a host's drain/departure transition is recorded, no
+     successful task attempt starts on it until it rejoins and
+     reactivates — attempts already running at drain time may finish,
+     which is the entire point of a graceful drain.
+I15 — *drain loses no work*: every task evicted or invalidated by a
+     membership transition either completes on another (ACTIVE) host
+     or its application dies with a typed error — nothing is silently
+     dropped on the federation floor.
+I16 — *rejoin convergence*: a host that departed and rejoined ends the
+     campaign ACTIVE and re-scorable — present in its repository's
+     runnable table, so host selection bids it again.
 
 Campaigns can also inject *performance* faults — scripted host
 slowdowns and stochastic slow/normal flapping — and enable the
@@ -88,6 +100,7 @@ from repro.sim.kernel import Timeout
 __all__ = [
     "ChaosConfig",
     "ChaosReport",
+    "churn_smoke_config",
     "corruption_smoke_config",
     "run_campaign",
     "slowdown_smoke_config",
@@ -112,6 +125,16 @@ _CORRUPTION_DEFAULTS = {
     "corruption_duration_s": None,
     "artifact_loss_at_s": None,
     "journal_corrupt_at_s": None,
+}
+
+#: the membership-churn knobs and their defaults — same omission rule,
+#: so presets that never churn keep their committed campaign hashes
+_CHURN_DEFAULTS = {
+    "n_churn_hosts": 0,
+    "churn_start_s": 30.0,
+    "churn_window_s": 60.0,
+    "churn_drain_deadline_s": 8.0,
+    "churn_rejoin_after_s": None,
 }
 
 
@@ -219,6 +242,20 @@ class ChaosConfig:
     # scripted checkpoint-journal bit-rot on one app's journal (victim
     # app drawn from chaos:plan); None disables
     journal_corrupt_at_s: Optional[float] = None
+    # membership churn (DESIGN §17): n_churn_hosts victims (never a
+    # group leader or site server) each gracefully drain and depart at
+    # a per-host time drawn from their own churn:<name> stream inside
+    # [churn_start_s, churn_start_s + churn_window_s).  0 disables:
+    # no victims drawn, no extra RNG, campaign hashes unchanged
+    n_churn_hosts: int = 0
+    churn_start_s: float = 30.0
+    churn_window_s: float = 60.0
+    #: running attempts get this long to finish before eviction;
+    #: None = hard decommission (immediate eviction, no drain grace)
+    churn_drain_deadline_s: Optional[float] = 8.0
+    #: departed hosts rejoin roughly this long after departing (±25%
+    #: jitter from their churn stream); None = they stay gone
+    churn_rejoin_after_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_sites < 1 or self.hosts_per_site < 1:
@@ -279,6 +316,17 @@ class ChaosConfig:
                 "machinery can detect — it needs data_integrity=True "
                 "(silent corruption would make I12/I13 unauditable)"
             )
+        if self.n_churn_hosts < 0:
+            raise ValueError("n_churn_hosts must be non-negative")
+        if self.n_churn_hosts:
+            if self.churn_window_s <= 0:
+                raise ValueError("churn_window_s must be positive")
+            if (self.churn_drain_deadline_s is not None
+                    and self.churn_drain_deadline_s <= 0):
+                raise ValueError("churn_drain_deadline_s must be positive")
+            if (self.churn_rejoin_after_s is not None
+                    and self.churn_rejoin_after_s <= 0):
+                raise ValueError("churn_rejoin_after_s must be positive")
 
 
 def smoke_config(seed: int = 0) -> ChaosConfig:
@@ -368,6 +416,36 @@ def corruption_smoke_config(seed: int = 0) -> ChaosConfig:
     )
 
 
+def churn_smoke_config(seed: int = 0) -> ChaosConfig:
+    """The membership-churn campaign CI runs: every non-leader host
+    gracefully drains and departs mid-run (each at its own
+    ``churn:<name>``-drawn time inside the window), then rejoins under
+    a fresh epoch while applications keep arriving — exercising drain
+    eviction (the 2s grace is shorter than a task slice, so resident
+    work genuinely gets preempted and rescheduled), epoch-checked
+    placement (I14), drain work conservation (I15), and rejoin
+    convergence (I16).  Crash/partition faults stay off so every
+    reschedule in the campaign is attributable to membership churn."""
+    return ChaosConfig(
+        seed=seed,
+        n_sites=3,
+        hosts_per_site=4,
+        n_apps=4,
+        duration_s=300.0,
+        app_spacing_s=40.0,
+        n_flaky_hosts=0,
+        n_flaky_links=0,
+        partition_at_s=None,
+        message_loss_prob=0.02,
+        echo_loss_prob=0.02,
+        n_churn_hosts=9,
+        churn_start_s=25.0,
+        churn_window_s=70.0,
+        churn_drain_deadline_s=2.0,
+        churn_rejoin_after_s=50.0,
+    )
+
+
 def storm_config(seed: int = 0) -> ChaosConfig:
     """The overload campaign: an arrival storm against a bounded
     admission queue, with backpressure/brownout and circuit breakers
@@ -433,6 +511,8 @@ class ChaosReport:
     breaker_fast_fails: int = 0
     #: integrity ledger snapshot (None unless the campaign armed it)
     integrity: Optional[Dict[str, Any]] = None
+    #: membership-transition audit (None unless churn was armed)
+    membership: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -445,6 +525,11 @@ class ChaosReport:
         # campaign hashes of the older presets stay byte-identical
         if all(config[k] == v for k, v in _CORRUPTION_DEFAULTS.items()):
             for key in _CORRUPTION_DEFAULTS:
+                del config[key]
+        # same rule for the churn knobs: a config that never churns
+        # serialises as it did before they existed
+        if all(config[k] == v for k, v in _CHURN_DEFAULTS.items()):
+            for key in _CHURN_DEFAULTS:
                 del config[key]
         document = {
             "config": config,
@@ -471,6 +556,8 @@ class ChaosReport:
         }
         if self.integrity is not None:
             document["integrity"] = self.integrity
+        if self.membership is not None:
+            document["membership"] = self.membership
         return document
 
     def campaign_hash(self) -> str:
@@ -665,6 +752,39 @@ def run_campaign(
         int(plan_rng.choice(config.n_apps))
         if config.journal_corrupt_at_s is not None else None
     )
+    # membership churn victims draw after EVERY other chaos:plan draw,
+    # so arming churn never perturbs an existing config's fault plan.
+    # Group leaders and site servers are never eligible — the control
+    # plane they run is not what elastic membership removes.
+    churn_targets: List[str] = []
+    if config.n_churn_hosts:
+        protected = set()
+        for site_name in sites:
+            site = vdce.topology.site(site_name)
+            protected.add(site.server_host.name)
+            for group in site.groups.values():
+                protected.add(group.spec.leader)
+        eligible = sorted(
+            h.name for h in all_hosts if h.name not in protected
+        )
+        n_churn = min(config.n_churn_hosts, len(eligible))
+        if n_churn:
+            picks = sorted(plan_rng.choice(
+                len(eligible), size=n_churn, replace=False
+            ))
+            churn_targets = [eligible[int(i)] for i in picks]
+            by_site: Dict[str, List[str]] = {}
+            for name in churn_targets:
+                site_name = vdce.topology.host(name).site_name
+                by_site.setdefault(site_name, []).append(name)
+            for site_name in sorted(by_site):
+                injector.schedule_churn(
+                    runtime.site_managers[site_name], by_site[site_name],
+                    start=config.churn_start_s,
+                    window_s=config.churn_window_s,
+                    drain_deadline_s=config.churn_drain_deadline_s,
+                    rejoin_after_s=config.churn_rejoin_after_s,
+                )
 
     # -- submit the application stream -------------------------------------
     outcomes: Dict[str, Dict[str, Any]] = {}
@@ -1117,6 +1237,122 @@ def run_campaign(
                 )
         integrity_section = ledger.as_dict()
 
+    # I14/I15/I16: elastic membership (only audited when churn armed)
+    membership_section = None
+    if churn_targets:
+        transitions = runtime.membership.transitions
+
+        # I14: no successful attempt starts on a host after its
+        # drain/departure transition became visible (attempts already
+        # running at drain time are allowed to finish — that is the
+        # drain grace, not a violation)
+        inactive: Dict[str, List[List[Optional[float]]]] = {}
+        for entry in transitions:
+            if entry["transition"] in ("drain", "depart"):
+                spans_ = inactive.setdefault(entry["host"], [])
+                if not spans_ or spans_[-1][1] is not None:
+                    spans_.append([entry["time"], None])
+            elif entry["transition"] == "rejoin":
+                spans_ = inactive.get(entry["host"], [])
+                if spans_ and spans_[-1][1] is None:
+                    spans_[-1][1] = entry["time"]
+        for coordinator in coordinators:
+            for record in coordinator.records.values():
+                if record.measured_time <= 0:
+                    continue
+                start = record.finished_at - record.measured_time
+                for host in record.hosts:
+                    for opened, closed in inactive.get(host, []):
+                        if opened < start and (closed is None or start < closed):
+                            violations.append(
+                                f"I14: task {record.task_id!r} of "
+                                f"{coordinator.afg.name!r} started at "
+                                f"{start:.3f} on {host!r}, non-ACTIVE "
+                                f"since {opened:.3f}"
+                            )
+
+        # I15: work evicted or invalidated by a membership transition
+        # completes elsewhere, or the application dies typed
+        drain_affected = 0
+        for coordinator in coordinators:
+            name = coordinator.afg.name
+            status = outcomes.get(name, {}).get("status")
+            for record in coordinator.records.values():
+                evictions = [
+                    r for r in record.reschedule_reasons
+                    if "membership change" in r or "decommissioned" in r
+                    or "drained" in r
+                ]
+                if not evictions:
+                    continue
+                drain_affected += 1
+                if status == "completed" and record.measured_time <= 0:
+                    violations.append(
+                        f"I15: task {record.task_id!r} of {name!r} was "
+                        f"evicted by a membership transition and never "
+                        f"completed, yet the application 'completed'"
+                    )
+                if status == "crashed":
+                    violations.append(
+                        f"I15: application {name!r} died untyped after "
+                        f"task {record.task_id!r} was evicted by a "
+                        f"membership transition"
+                    )
+
+        # I16: every churn target whose last transition is a rejoin
+        # ends the campaign ACTIVE and re-scorable (in the runnable
+        # table host selection iterates over)
+        from repro.repository.resources import MembershipState
+
+        last_transition = {}
+        for entry in transitions:
+            last_transition[entry["host"]] = entry
+        task_types = runtime.registry.names()
+        for host_name in sorted(churn_targets):
+            last = last_transition.get(host_name)
+            if last is None or last["transition"] != "rejoin":
+                continue
+            repo = runtime.repositories[last["site"]]
+            if not repo.resources.has_host(host_name):
+                violations.append(
+                    f"I16: rejoined host {host_name!r} has no repository "
+                    "row at campaign end"
+                )
+                continue
+            state = repo.resources.membership_state(host_name)
+            if state != MembershipState.ACTIVE:
+                violations.append(
+                    f"I16: rejoined host {host_name!r} ended the campaign "
+                    f"in state {state}, not ACTIVE"
+                )
+                continue
+            if repo.resources.get(host_name).up:
+                runnable = any(
+                    any(r.spec.name == host_name
+                        for r in repo.runnable_up_hosts(t))
+                    for t in task_types
+                )
+                if not runnable:
+                    violations.append(
+                        f"I16: rejoined host {host_name!r} is ACTIVE and "
+                        "up but absent from every runnable table — host "
+                        "selection will never re-score it"
+                    )
+        membership_section = {
+            "targets": list(churn_targets),
+            "drain_affected_tasks": drain_affected,
+            "transitions": [
+                {
+                    "time": round(e["time"], 9),
+                    "host": e["host"],
+                    "site": e["site"],
+                    "transition": e["transition"],
+                    "epoch": e["epoch"],
+                }
+                for e in transitions
+            ],
+        }
+
     if trace_path is not None:
         from repro.trace.serialize import write_jsonl
 
@@ -1168,6 +1404,7 @@ def run_campaign(
             if runtime.breakers is not None else 0
         ),
         integrity=integrity_section,
+        membership=membership_section,
     )
 
 

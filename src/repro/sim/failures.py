@@ -46,6 +46,7 @@ class FailureEvent:
     host: str
     # "down" | "up" | "partition" | "heal" | "slow" | "normal"
     # | "corrupt-armed" | "artifact-loss" | "journal-corrupt"
+    # | "join" | "drain" | "decommission" | "rejoin"
     kind: str
     #: slowdown factor for "slow" events (1.0 otherwise)
     factor: float = 1.0
@@ -397,6 +398,118 @@ class FailureInjector:
                 )
 
         self.sim.call_at(time, corrupt)
+
+    # -- elastic membership (churn) --------------------------------------------
+
+    def schedule_host_join(self, manager, spec, group_name: str, time: float) -> None:
+        """Admit a new host into a site's group at ``time``.
+
+        ``manager`` is duck-typed (``alive`` /
+        ``admit_host(spec, group_name)``, the Site Manager's membership
+        RPC) to keep this module's no-runtime-imports layering.  A dead
+        manager skips the join silently — the roster cannot change
+        through a crashed VDCE server.
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule a host join in the past")
+
+        def join() -> None:
+            if not getattr(manager, "alive", True):
+                return  # the site's server is down: no membership change
+            manager.admit_host(spec, group_name)
+            self.log.append(FailureEvent(self.sim.now, spec.name, "join"))
+
+        self.sim.call_at(time, join)
+
+    def schedule_host_decommission(
+        self,
+        manager,
+        host_name: str,
+        time: float,
+        drain_deadline_s: Optional[float] = None,
+    ) -> None:
+        """Decommission ``host_name`` at ``time``.
+
+        With ``drain_deadline_s`` the removal is a *graceful drain*: new
+        placements stop immediately, running attempts get that long to
+        finish, and the host retires at the deadline.  Without it the
+        host is retired on the spot (hard decommission).  ``manager`` is
+        duck-typed (``alive`` / ``drain_host`` / ``retire_host``).
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule a decommission in the past")
+        if drain_deadline_s is not None and drain_deadline_s <= 0:
+            raise ValueError("drain deadline must be positive")
+
+        def decommission() -> None:
+            if not getattr(manager, "alive", True):
+                return
+            if drain_deadline_s is None:
+                manager.retire_host(host_name)
+                self.log.append(
+                    FailureEvent(self.sim.now, host_name, "decommission")
+                )
+            else:
+                manager.drain_host(host_name, drain_deadline_s)
+                self.log.append(FailureEvent(self.sim.now, host_name, "drain"))
+
+        self.sim.call_at(time, decommission)
+
+    def schedule_host_rejoin(self, manager, host_name: str, time: float) -> None:
+        """Bring a previously departed host back at ``time``.
+
+        ``manager`` is duck-typed (``alive`` / ``rejoin_host(name)``);
+        the host comes back under a fresh membership epoch with its old
+        task-performance calibration intact.
+        """
+        if time < self.sim.now:
+            raise ValueError("cannot schedule a host rejoin in the past")
+
+        def rejoin() -> None:
+            if not getattr(manager, "alive", True):
+                return
+            manager.rejoin_host(host_name)
+            self.log.append(FailureEvent(self.sim.now, host_name, "rejoin"))
+
+        self.sim.call_at(time, rejoin)
+
+    def schedule_churn(
+        self,
+        manager,
+        host_names: Sequence[str],
+        start: float,
+        window_s: float,
+        drain_deadline_s: Optional[float] = 6.0,
+        rejoin_after_s: Optional[float] = None,
+    ) -> None:
+        """Membership churn: each host departs (and optionally rejoins).
+
+        Each target's departure time is drawn uniformly inside
+        ``[start, start + window_s)`` from its own ``churn:<name>``
+        stream, so churning one host never perturbs another target's
+        fate and an unarmed run (empty ``host_names``) draws nothing.
+        With ``rejoin_after_s`` the host rejoins that long after it
+        fully departed, jittered ±25% from the same stream.
+        """
+        if window_s <= 0:
+            raise ValueError("churn window must be positive")
+        if start < self.sim.now:
+            raise ValueError("cannot schedule churn in the past")
+        if rejoin_after_s is not None and rejoin_after_s <= 0:
+            raise ValueError("rejoin_after_s must be positive")
+        for host_name in host_names:
+            rng = self.sim.rng(f"churn:{host_name}")
+            depart_at = start + float(rng.uniform(0.0, window_s))
+            self.schedule_host_decommission(
+                manager, host_name, depart_at,
+                drain_deadline_s=drain_deadline_s,
+            )
+            if rejoin_after_s is not None:
+                departed_at = depart_at + (drain_deadline_s or 0.0)
+                delay = rejoin_after_s * float(rng.uniform(0.75, 1.25))
+                self.schedule_host_rejoin(
+                    manager, host_name, departed_at + delay
+                )
 
     # -- stochastic ------------------------------------------------------------
 

@@ -213,6 +213,19 @@ class Host:
         )
         self._reschedule_completion()
 
+    def preempt_all(self, cause: Any = None) -> int:
+        """Cancel every resident execution (graceful-drain preemption).
+
+        Returns the number of executions evicted; each fails its
+        ``done`` signal like an individual :meth:`cancel`, so owners
+        observe the same :class:`Interrupted` they would after an
+        Application Controller termination.
+        """
+        victims = list(self._running)
+        for execution in victims:
+            self.cancel(execution, cause)
+        return len(victims)
+
     def set_bg_load(self, value: float) -> None:
         """Update background load (driven by a workload generator process)."""
         if value < 0:

@@ -342,6 +342,9 @@ class Network:
         if site_name not in self._lans:
             self.set_lan(site_name, self.default_lan)
 
+    def has_host(self, host_name: str) -> bool:
+        return host_name in self._host_sites
+
     def set_lan(self, site_name: str, spec: LinkSpec) -> None:
         spec = LinkSpec(spec.latency_s, spec.bandwidth_mbps, f"lan:{site_name}")
         self._lans[site_name] = Link(self.sim, spec)

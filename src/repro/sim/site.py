@@ -86,8 +86,34 @@ class Group:
     def leader(self) -> Host:
         return self.hosts[self.spec.leader]
 
+    # -- elastic membership (the instance roster may drift from the
+    # -- frozen spec once hosts join or leave at runtime) -------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise SimulationError(
+                f"group {self.name!r} already has host {host.name!r}"
+            )
+        self.hosts[host.name] = host
+        return host
+
+    def remove_host(self, name: str) -> Host:
+        if name == self.spec.leader:
+            raise SimulationError(
+                f"group {self.name!r}: cannot remove leader {name!r}"
+            )
+        try:
+            return self.hosts.pop(name)
+        except KeyError:
+            raise SimulationError(
+                f"group {self.name!r} has no host {name!r}"
+            ) from None
+
     def __iter__(self):
-        return iter(self.hosts.values())
+        # Snapshot: callers iterate across yields (the Group Manager's
+        # echo loop), and membership changes may mutate the roster
+        # mid-round.
+        return iter(list(self.hosts.values()))
 
     def __len__(self) -> int:
         return len(self.hosts)
@@ -133,6 +159,35 @@ class Site:
             if host_name in group.hosts:
                 return group
         raise SimulationError(f"site {self.name!r} has no host {host_name!r}")
+
+    # -- elastic membership --------------------------------------------------
+
+    def add_host(self, group_name: str, host: Host) -> Host:
+        """Attach a live host to one of this site's groups at runtime."""
+        try:
+            group = self.groups[group_name]
+        except KeyError:
+            raise SimulationError(
+                f"site {self.name!r} has no group {group_name!r}"
+            ) from None
+        if host.name in self._hosts:
+            raise SimulationError(
+                f"site {self.name!r} already has host {host.name!r}"
+            )
+        group.add_host(host)
+        self._hosts[host.name] = host
+        return host
+
+    def remove_host(self, name: str) -> Host:
+        """Detach a host from the site (and its group) at runtime."""
+        if name == self.spec.server_name:
+            raise SimulationError(
+                f"site {self.name!r}: cannot remove the VDCE server host "
+                f"{name!r}"
+            )
+        group = self.group_of(name)  # raises for unknown hosts
+        group.remove_host(name)
+        return self._hosts.pop(name)
 
     def up_hosts(self) -> List[Host]:
         return [h for h in self._hosts.values() if h.is_up()]

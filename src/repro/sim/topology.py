@@ -60,6 +60,39 @@ class Topology:
     def all_hosts(self) -> List[Host]:
         return list(self._host_index.values())
 
+    # -- elastic membership --------------------------------------------------
+
+    def attach_host(self, site_name: str, group_name: str, spec: HostSpec) -> Host:
+        """Instantiate a new host and wire it into a site's group.
+
+        The network keeps a host's name -> site mapping forever (late
+        messages must still route), so a rejoining host must come back
+        at the site it departed from.
+        """
+        if spec.name in self._host_index:
+            raise SimulationError(f"duplicate host name {spec.name!r}")
+        site = self.site(site_name)
+        if self.network.has_host(spec.name):
+            known = self.network.site_of(spec.name)
+            if known != site_name:
+                raise SimulationError(
+                    f"host {spec.name!r} previously lived at site {known!r}; "
+                    f"it cannot rejoin at {site_name!r}"
+                )
+        else:
+            self.network.register_host(spec.name, site_name)
+        host = Host(self.sim, spec, site_name=site_name)
+        site.add_host(group_name, host)
+        self._host_index[spec.name] = host
+        return host
+
+    def detach_host(self, host_name: str) -> Host:
+        """Remove a host from its site; the network mapping survives."""
+        host = self.host(host_name)  # raises for unknown hosts
+        self.site(host.site_name).remove_host(host_name)
+        del self._host_index[host_name]
+        return host
+
     @property
     def site_names(self) -> List[str]:
         return list(self.sites.keys())

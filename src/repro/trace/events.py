@@ -100,6 +100,14 @@ class EventKind:
     REGENERATE = "regenerate"
     POISON = "poison"
 
+    # -- elastic membership (host churn) -----------------------------------
+    HOST_JOIN = "host_join"
+    HOST_DRAIN = "host_drain"
+    HOST_DEPART = "host_depart"
+    HOST_REJOIN = "host_rejoin"
+    #: checkpoint resume found a frontier task bound to a departed host
+    RESUME_MEMBERSHIP_WARNING = "resume_membership_warning"
+
     # -- spans (timed operations) -----------------------------------------
     SPAN_BEGIN = "span_begin"
     SPAN_END = "span_end"

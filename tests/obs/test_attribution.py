@@ -159,7 +159,7 @@ class TestBreakdown:
         assert info["wall_s"] == 10.0
         assert info["breakdown"] == {
             "queue": 2.0, "scheduling": 1.0, "staging": 2.0,
-            "execution": 5.0, "repair": 0.0, "retry": 0.0,
+            "execution": 5.0, "repair": 0.0, "drain": 0.0, "retry": 0.0,
             "speculation": 0.0, "shed": 0.0, "other": 0.0,
         }
         assert info["breakdown_residual_s"] == 0.0

@@ -256,6 +256,7 @@ class TestSiteRepository:
         site = make_uniform_site(sim, "syr", n_hosts=3)
         repo = SiteRepository.bootstrap(site, default_registry())
         repo.resources.mark_down("syr-h01", time=1.0)
+        repo.resources.begin_draining("syr-h02", time=1.0)
         repo.constraints.remove_host("syr-h02")
         names = [r.name for r in repo.runnable_up_hosts("matrix.lu_decomposition")]
         assert names == ["syr-h00"]

@@ -55,7 +55,7 @@ def _node(task_type, **props):
 def _mutate(rng, repo, step):
     """One random repository mutation (the events that invalidate caches)."""
     names = repo.resources.host_names()
-    kind = rng.randrange(4)
+    kind = rng.randrange(4) if names else 0
     if kind == 0:  # register a brand-new host with some executables
         name = f"new{step:03d}"
         repo.resources.register_host(HostSpec(name=name, speed=2.0))
@@ -74,8 +74,8 @@ def _mutate(rng, repo, step):
             name, load=rng.random() * 4, available_memory_mb=64,
             time=float(step),
         )
-    else:  # decommission: drop every executable registered on one host
-        repo.constraints.remove_host(rng.choice(names))
+    else:  # decommission: symmetric removal (constraints + resource row)
+        repo.deregister_host(rng.choice(names))
 
 
 @pytest.mark.parametrize("seed", range(6))

@@ -83,6 +83,9 @@ def test_down_host_excluded(federation):
 
 def test_constraints_db_excludes_hosts(federation):
     _, repos, _ = federation
+    # removing a live host's constraints outright is a typed error now;
+    # drain it first (the sanctioned decommission sequence)
+    repos["alpha"].resources.begin_draining("a-fast", time=0.0)
     repos["alpha"].constraints.remove_host("a-fast")
     bids = select_hosts(single_task_afg(), repos["alpha"])
     assert bids["t"].hosts == ("a-mid",)
